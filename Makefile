@@ -1,0 +1,32 @@
+# Convenience targets for the repro reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench figures smoke lint
+
+install:
+	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-verbose:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+figures:
+	$(PYTHON) -m repro figure figure2
+	$(PYTHON) -m repro figure figure7
+	$(PYTHON) -m repro figure figure8
+	$(PYTHON) -m repro figure figure9
+	$(PYTHON) -m repro figure figure10
+	$(PYTHON) -m repro figure figure11
+	$(PYTHON) -m repro figure figure12
+	$(PYTHON) -m repro table table1
+	$(PYTHON) -m repro table table2
+	$(PYTHON) -m repro table hwcost
+
+smoke:
+	$(PYTHON) examples/quickstart.py 6000

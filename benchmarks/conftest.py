@@ -1,0 +1,17 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the series it produces (run with ``-s`` to see them inline; the
+text is also attached to the benchmark's ``extra_info``).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment generator exactly once under the timer."""
+    result = benchmark.pedantic(lambda: func(**kwargs), rounds=1, iterations=1)
+    text = result.to_text()
+    print("\n" + text)
+    benchmark.extra_info["table"] = text
+    return result

@@ -1,0 +1,214 @@
+"""Ablation benches for the design choices the paper calls out.
+
+Beyond the paper's own figures, these sweep the DVR design knobs that
+DESIGN.md highlights: lane count (Section 6.1 notes NAS-CG/IS would
+want 256), the Nested threshold (64), reconvergence (insight #5), the
+MSHR budget, and the per-invocation instruction timeout.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import MemoryConfig, RunaheadConfig, SimConfig
+from repro.experiments import ExperimentResult, run_simulation
+
+BUDGET = 8_000
+
+
+def _run(workload, technique="dvr", runahead=None, memory=None):
+    cfg = SimConfig(max_instructions=BUDGET)
+    if runahead is not None:
+        cfg = cfg.with_runahead(runahead)
+    if memory is not None:
+        cfg = replace(cfg, memory=memory)
+    return run_simulation(workload, technique, cfg)
+
+
+def _emit(benchmark, experiment_id, title, headers, rows):
+    result = ExperimentResult(experiment_id, title, headers, rows)
+    print("\n" + result.to_text())
+    benchmark.extra_info["table"] = result.to_text()
+    return result
+
+
+def test_ablation_lane_count(benchmark):
+    """DVR lane count 32/64/128/256 (paper: 128; 256 helps NAS-CG)."""
+
+    def sweep():
+        rows = []
+        for lanes in (32, 64, 128, 256):
+            runahead = RunaheadConfig(dvr_lanes=lanes, nested_threshold=min(64, lanes // 2))
+            for workload in ("camel", "nas_cg"):
+                base = _run(workload, "ooo")
+                dvr = _run(workload, runahead=runahead)
+                rows.append([f"{workload}/lanes={lanes}", dvr.ipc / base.ipc])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    result = _emit(
+        benchmark, "ablation-lanes", "DVR speedup vs lane count",
+        ["config", "speedup"], rows,
+    )
+    by_config = {row[0]: row[1] for row in rows}
+    # More lanes must not catastrophically hurt; 128 beats 32 somewhere.
+    assert by_config["camel/lanes=128"] > by_config["camel/lanes=32"] * 0.9
+
+
+def test_ablation_nested_threshold(benchmark):
+    """Nested mode engages below the threshold; 64 is the paper value."""
+
+    def sweep():
+        rows = []
+        for threshold in (0, 64, 128):
+            runahead = RunaheadConfig(nested_threshold=threshold)
+            result = _run("nas_cg", runahead=runahead)
+            rows.append(
+                [
+                    f"threshold={threshold}",
+                    result.ipc,
+                    result.technique_stats["nested_spawns"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        benchmark, "ablation-nested", "Nested threshold on nas_cg",
+        ["config", "ipc", "nested_spawns"], rows,
+    )
+    by_config = {row[0]: row for row in rows}
+    assert by_config["threshold=0"][2] == 0  # never engages
+    assert by_config["threshold=64"][2] > 0  # paper default engages
+
+
+def test_ablation_reconvergence(benchmark):
+    """Insight #5: divergent kernels lose lanes without the stack."""
+
+    def sweep():
+        rows = []
+        for workload in ("bfs", "bc"):
+            with_stack = _run(workload, "dvr")
+            without = _run(workload, "dvr-noreconv")
+            rows.append(
+                [
+                    workload,
+                    with_stack.ipc,
+                    without.ipc,
+                    without.technique_stats["lanes_invalidated"],
+                    with_stack.technique_stats["lanes_invalidated"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        benchmark, "ablation-reconv", "Reconvergence stack on divergent kernels",
+        ["workload", "ipc_with", "ipc_without", "invalidated_without", "invalidated_with"],
+        rows,
+    )
+    for row in rows:
+        assert row[3] >= row[4]  # mask-off invalidates at least as many lanes
+
+
+def test_ablation_mshr_budget(benchmark):
+    """The MSHR file bounds everyone's MLP (paper Table 1: 24)."""
+
+    def sweep():
+        rows = []
+        for mshrs in (8, 24, 64):
+            memory = replace(MemoryConfig.scaled(), l1d_mshrs=mshrs)
+            base = _run("camel", "ooo", memory=memory)
+            dvr = _run("camel", "dvr", memory=memory)
+            rows.append([f"mshrs={mshrs}", base.ipc, dvr.ipc])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        benchmark, "ablation-mshr", "MSHR budget on camel",
+        ["config", "ooo_ipc", "dvr_ipc"], rows,
+    )
+    by_config = {row[0]: row for row in rows}
+    assert by_config["mshrs=64"][2] >= by_config["mshrs=8"][2]
+
+
+def test_ablation_timeout(benchmark):
+    """The 200-instruction per-invocation timeout (Section 4.2.4)."""
+
+    def sweep():
+        rows = []
+        for timeout in (50, 200, 800):
+            runahead = RunaheadConfig(instruction_timeout=timeout)
+            result = _run("bfs", runahead=runahead)
+            rows.append([f"timeout={timeout}", result.ipc])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        benchmark, "ablation-timeout", "Subthread timeout on bfs",
+        ["config", "ipc"], rows,
+    )
+    for row in rows:
+        assert row[1] > 0
+
+
+def test_ablation_backend_scaling(benchmark):
+    """Section 6.5: DVR's relative gain holds whether the back-end
+    queues scale with the ROB or stay at their Table 1 sizes."""
+    from repro.experiments import figure12
+
+    def sweep():
+        rows = []
+        for scale in (True, False):
+            result = figure12(
+                workloads=["camel"],
+                instructions=BUDGET,
+                rob_sizes=[128, 512],
+                scale_backend=scale,
+            )
+            series = result.series["camel"]
+            for rob in (128, 512):
+                rows.append(
+                    [
+                        f"scale={scale}/rob={rob}",
+                        series["dvr"][rob] / series["ooo"][rob],
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        benchmark, "ablation-backend", "DVR gain vs backend scaling (camel)",
+        ["config", "dvr_over_ooo"], rows,
+    )
+    for row in rows:
+        assert row[1] > 1.0  # DVR wins in every configuration
+
+
+def test_ablation_software_prefetch(benchmark):
+    """The ISCA 2021 comparison point: the CGO 2017 software-prefetch
+    pass vs the hardware techniques on its favourable/unfavourable
+    kernels."""
+
+    def sweep():
+        rows = []
+        for workload in ("nas_is", "kangaroo", "camel"):
+            base = _run(workload, "ooo")
+            swpf = _run(workload, "swpf")
+            dvr = _run(workload, "dvr")
+            rows.append(
+                [workload, swpf.ipc / base.ipc, dvr.ipc / base.ipc]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _emit(
+        benchmark, "ablation-swpf", "SW prefetch vs DVR",
+        ["workload", "swpf", "dvr"], rows,
+    )
+    by_wl = {row[0]: row for row in rows}
+    # The pass applies to plain indirection...
+    assert by_wl["nas_is"][1] > 1.2
+    # ...but cannot transform the hash-chain kernel (DVR can).
+    assert by_wl["camel"][1] == pytest.approx(1.0, abs=0.05)
+    assert by_wl["camel"][2] > 1.2

@@ -1,0 +1,23 @@
+"""Figure 11: timeliness — where the main thread finds DVR-prefetched
+cache lines (L1 / L2 / L3 / off-chip).
+
+Paper shape: the majority of demanded prefetched lines are already in
+the L1-D; a minority arrive late (off-chip).
+"""
+
+from repro.experiments import figure11
+
+from conftest import run_once
+
+
+def test_fig11_timeliness(benchmark):
+    result = run_once(benchmark, figure11, instructions=8_000)
+    l1_col = result.headers.index("L1")
+    off_col = result.headers.index("off_chip")
+    covered = [row for row in result.rows if sum(row[1:5]) > 0]
+    assert covered, "DVR prefetched nothing anywhere?"
+    mostly_l1 = sum(1 for row in covered if row[l1_col] >= 0.5)
+    # On most benchmarks, most demanded prefetches are L1 hits.
+    assert mostly_l1 >= len(covered) // 2
+    for row in covered:
+        assert row[l1_col] > row[off_col] or row[off_col] < 0.6

@@ -1,0 +1,24 @@
+"""Figure 12: DVR performance as a function of ROB size.
+
+Paper shape: unlike VR (Figure 2), DVR's gain over the same-size OoO
+core holds (or grows) as the ROB scales from 128 to 512 entries.
+"""
+
+from repro.experiments import figure12
+
+from conftest import run_once
+
+WORKLOADS = ["camel", "bfs", "sssp", "graph500"]
+
+
+def test_fig12_dvr_rob(benchmark):
+    result = run_once(
+        benchmark, figure12, workloads=WORKLOADS, instructions=10_000
+    )
+    for name in WORKLOADS:
+        series = result.series[name]
+        # DVR outperforms the same-size baseline at every ROB point.
+        for rob in (128, 350, 512):
+            assert series["dvr"][rob] > series["ooo"][rob]
+        # And the absolute DVR curve rises with ROB size.
+        assert series["dvr"][512] >= series["dvr"][128]

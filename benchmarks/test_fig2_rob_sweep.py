@@ -1,0 +1,31 @@
+"""Figure 2: OoO & VR vs ROB size + backend-full stall time.
+
+Paper shape: VR's normalised performance advantage shrinks as the ROB
+grows (and can drop below the baseline), while stall time falls.
+"""
+
+from repro.experiments import figure2
+
+from conftest import run_once
+
+WORKLOADS = ["camel", "bfs", "sssp"]
+
+
+def test_fig2_rob_sweep(benchmark):
+    result = run_once(
+        benchmark, figure2, workloads=WORKLOADS, instructions=10_000
+    )
+    decays = []
+    for name in WORKLOADS:
+        series = result.series[name]
+        # The baseline improves with ROB size.
+        assert series["ooo"][512] >= series["ooo"][128]
+        # Backend-full stall time decreases with ROB size.
+        assert series["stall"][128] >= series["stall"][512]
+        small = series["vr"][128] / series["ooo"][128]
+        large = series["vr"][512] / series["ooo"][512]
+        decays.append(small - large)
+    # VR's speedup over the same-size OoO decays with ROB size in
+    # aggregate (the paper's headline trend; individual benchmarks vary
+    # at short region lengths).
+    assert sum(decays) / len(decays) > 0

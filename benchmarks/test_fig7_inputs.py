@@ -1,0 +1,41 @@
+"""Figure 7, GAP input sensitivity: the paper plots every
+benchmark-input combination. This bench runs the GAP kernels over the
+power-law (KR) and uniform (UR) profiles — the two ends of the
+input-sensitivity story — and asserts the per-input shapes:
+
+* DVR gains on both input classes,
+* UR leans on Nested Discovery Mode (short inner loops).
+"""
+
+from repro.experiments import figure7, run_simulation
+
+from conftest import run_once
+
+GAP = ["bc", "bfs", "cc", "sssp"]
+
+
+def test_fig7_gap_inputs(benchmark):
+    result = run_once(
+        benchmark,
+        figure7,
+        workloads=GAP,
+        instructions=8_000,
+        inputs=["KR", "UR"],
+        techniques=("vr", "dvr"),
+    )
+    dvr_col = result.headers.index("dvr")
+    for name in GAP:
+        for input_name in ("KR", "UR"):
+            row = result.row_for(f"{name}_{input_name}")
+            assert row[dvr_col] > 1.0  # DVR gains on every pair
+
+    # UR's uniformly small vertices force Nested mode (Section 6.1).
+    ur = run_simulation("bfs", "dvr", max_instructions=8_000, input_name="UR")
+    kr = run_simulation("bfs", "dvr", max_instructions=8_000, input_name="KR")
+    ur_nested_share = ur.technique_stats["nested_spawns"] / max(
+        1, ur.technique_stats["spawns"]
+    )
+    kr_nested_share = kr.technique_stats["nested_spawns"] / max(
+        1, kr.technique_stats["spawns"]
+    )
+    assert ur_nested_share >= kr_nested_share

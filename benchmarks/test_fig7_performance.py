@@ -1,0 +1,29 @@
+"""Figure 7: normalised performance of every technique on all 13
+benchmarks (PRE, IMP, VR, DVR, Oracle vs the OoO baseline).
+
+Paper shape: DVR is the best real technique on harmonic mean; IMP only
+helps simple one-level indirection; Oracle bounds everything.
+"""
+
+from repro.experiments import figure7
+
+from conftest import run_once
+
+
+def test_fig7_performance(benchmark):
+    result = run_once(benchmark, figure7, instructions=8_000)
+    hmean = result.row_for("h-mean")
+    techniques = result.headers[1:]
+    by_name = dict(zip(techniques, hmean[1:]))
+    # DVR is the best real (non-oracle) technique on harmonic mean.
+    for tech in ("pre", "imp", "vr"):
+        assert by_name["dvr"] > by_name[tech]
+    # The oracle bounds everything.
+    assert by_name["oracle"] >= by_name["dvr"]
+    # Every benchmark's oracle bar is the row maximum.
+    for row in result.rows[:-1]:
+        values = dict(zip(result.headers, row))
+        assert values["oracle"] == max(v for k, v in values.items() if k != "workload")
+    # IMP's asymmetry: strong on nas_is, no gain on hash-chain camel.
+    assert result.row_for("nas_is")[result.headers.index("imp")] > 1.15
+    assert result.row_for("camel")[result.headers.index("imp")] < 1.1

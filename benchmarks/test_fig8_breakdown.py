@@ -1,0 +1,26 @@
+"""Figure 8: DVR performance breakdown — VR, +Offload, +Discovery,
++Nested (full DVR), normalised to the OoO baseline.
+
+Paper shape: offloading to a decoupled subthread is the largest single
+step over VR; full DVR is uniformly best on harmonic mean.
+"""
+
+from repro.experiments import figure8
+
+from conftest import run_once
+
+
+def test_fig8_breakdown(benchmark):
+    result = run_once(
+        benchmark,
+        figure8,
+        workloads=["camel", "bfs", "sssp", "nas_cg", "graph500", "kangaroo"],
+        instructions=8_000,
+    )
+    hmean = result.row_for("h-mean")
+    vr, offload, discovery, full = hmean[1], hmean[2], hmean[3], hmean[4]
+    # Decoupling beats stall-triggered VR.
+    assert offload > vr
+    # The full technique is the best configuration overall.
+    assert full >= discovery
+    assert full > vr

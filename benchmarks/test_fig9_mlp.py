@@ -1,0 +1,20 @@
+"""Figure 9: memory-level parallelism (mean occupied MSHRs per cycle)
+for OoO, VR, and DVR.
+
+Paper shape: DVR sustains substantially more outstanding misses than
+the baseline core on average.
+"""
+
+from repro.experiments import figure9
+
+from conftest import run_once
+
+
+def test_fig9_mlp(benchmark):
+    result = run_once(benchmark, figure9, instructions=8_000)
+    mean_row = result.row_for("mean")
+    ooo, vr, dvr = mean_row[1], mean_row[2], mean_row[3]
+    assert dvr > ooo
+    for row in result.rows:
+        for value in row[1:]:
+            assert 0.0 <= value <= 24.0  # bounded by the MSHR file

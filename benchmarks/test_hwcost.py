@@ -1,0 +1,41 @@
+"""Section 4.4: DVR's hardware overhead — exactly 1139 bytes at the
+paper configuration, plus how the budget scales with the design knobs."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import RunaheadConfig
+from repro.experiments import hardware_cost_table
+
+from conftest import run_once
+
+
+def test_hwcost_matches_paper(benchmark):
+    result = run_once(benchmark, hardware_cost_table)
+    assert result.row_for("total")[1] == pytest.approx(1139.0)
+    # Per-structure numbers from the paper's own accounting.
+    assert result.row_for("stride_detector")[1] == pytest.approx(460.0)
+    assert result.row_for("vrat")[1] == pytest.approx(288.0)
+    assert result.row_for("vir")[1] == pytest.approx(86.0)
+    assert result.row_for("frontend_buffer")[1] == pytest.approx(64.0)
+    assert result.row_for("reconvergence_stack")[1] == pytest.approx(176.0)
+    assert result.row_for("loop_bound_detector")[1] == pytest.approx(48.0)
+
+
+def test_hwcost_scales_with_lanes(benchmark):
+    def sweep():
+        rows = []
+        for lanes in (64, 128, 256):
+            cfg = replace(RunaheadConfig(), dvr_lanes=lanes)
+            table = hardware_cost_table(cfg)
+            rows.append([lanes, table.row_for("total")[1]])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    totals = [row[1] for row in rows]
+    # The paper's Section 6.1 tradeoff: 256-element DVR costs a larger
+    # VRAT and wider masks.
+    assert totals[0] < totals[1] < totals[2]
+    print("\nlanes->bytes:", dict(rows))
+    benchmark.extra_info["table"] = str(rows)

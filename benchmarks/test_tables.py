@@ -1,0 +1,26 @@
+"""Benchmarks regenerating the paper's tables.
+
+Table 1 — the simulated baseline configuration.
+Table 2 — graph inputs with measured LLC MPKI over the GAP kernels.
+"""
+
+from repro.experiments import table1_rows, table2_rows
+
+from conftest import run_once
+
+
+def test_table1_config(benchmark):
+    result = run_once(benchmark, table1_rows)
+    assert result.row_for("ROB size")[1] == 350
+    assert "5-wide" in result.row_for("Processor width")[1]
+
+
+def test_table2_inputs(benchmark):
+    result = run_once(benchmark, table2_rows, instructions=5_000)
+    inputs = [row[0] for row in result.rows]
+    assert inputs == ["KR", "LJN", "ORK", "TW", "UR"]
+    # Every input runs in the paper's memory-bound regime.
+    for row in result.rows:
+        assert row[3] > 10  # LLC MPKI
+    # Power-law KR is larger than LJN/ORK, as in the paper's Table 2.
+    assert result.row_for("KR")[2] > result.row_for("LJN")[2]

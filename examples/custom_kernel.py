@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Bring your own kernel: write a workload and run DVR over it.
+
+Shows the full public API surface end to end:
+
+1. allocate data with :class:`MemoryImage`,
+2. hand-lower a loop with :class:`ProgramBuilder` (the compare +
+   backward-branch shape lets DVR's loop-bound detector work),
+3. simulate with :class:`OoOCore` under any technique, and
+4. read the run's statistics.
+
+The kernel is a two-level "social graph" walk: for each user, visit
+their followers and fetch each follower's profile record — the
+``A[B[i]]`` structure the whole runahead line of work targets.
+
+Usage::
+
+    python examples/custom_kernel.py [instructions]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import MemoryImage, OoOCore, ProgramBuilder, SimConfig, make_technique
+
+INSTRUCTIONS = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+
+USERS = 1 << 14
+FOLLOWERS_PER_USER = 6
+
+
+def build_workload():
+    rng = np.random.default_rng(42)
+    mem = MemoryImage()
+    # CSR-style follower lists + a profile table.
+    offsets = mem.allocate(
+        "OFFSETS", np.arange(0, USERS * FOLLOWERS_PER_USER + 1, FOLLOWERS_PER_USER)[: USERS + 1]
+    )
+    followers = mem.allocate(
+        "FOLLOWERS", rng.integers(0, USERS, USERS * FOLLOWERS_PER_USER)
+    )
+    profiles = mem.allocate("PROFILES", rng.integers(0, 1 << 30, USERS))
+    reach = mem.allocate("REACH", USERS)
+
+    b = ProgramBuilder("social_walk")
+    b.li("r1", offsets.base)
+    b.li("r2", followers.base)
+    b.li("r3", profiles.base)
+    b.li("r4", reach.base)
+    b.li("r5", USERS)
+    b.li("r6", 0)                      # u
+    b.label("users")
+    b.shli("r7", "r6", 3)
+    b.add("r8", "r1", "r7")
+    b.load("r9", "r8")                 # start = OFFSETS[u]   (outer stride)
+    b.load("r10", "r8", 8)             # end   = OFFSETS[u+1]
+    b.li("r11", 0)                     # reach accumulator
+    b.mov("r12", "r9")                 # j = start
+    b.cmp_lt("r13", "r12", "r10")
+    b.bez("r13", "done_followers")
+    b.label("followers")
+    b.shli("r14", "r12", 3)
+    b.add("r14", "r2", "r14")
+    b.load("r15", "r14")               # f = FOLLOWERS[j]    (inner stride)
+    b.shli("r16", "r15", 3)
+    b.add("r16", "r3", "r16")
+    b.load("r17", "r16")               # p = PROFILES[f]     (indirect!)
+    b.add("r11", "r11", "r17")
+    b.addi("r12", "r12", 1)
+    b.cmp_lt("r13", "r12", "r10")
+    b.bnz("r13", "followers")          # compare + backward branch
+    b.label("done_followers")
+    b.shli("r18", "r6", 3)
+    b.add("r18", "r4", "r18")
+    b.store("r11", "r18")              # REACH[u] = sum
+    b.addi("r6", "r6", 1)
+    b.cmp_lt("r19", "r6", "r5")
+    b.bnz("r19", "users")
+    return b.build(), mem
+
+
+def main() -> None:
+    print(f"custom social-walk kernel, {INSTRUCTIONS} instructions per run\n")
+    baseline_ipc = None
+    for technique in ("ooo", "vr", "dvr", "oracle"):
+        program, mem = build_workload()
+        core = OoOCore(
+            program,
+            mem,
+            SimConfig(max_instructions=INSTRUCTIONS),
+            technique=make_technique(technique),
+            workload_name="social_walk",
+        )
+        result = core.run()
+        baseline_ipc = baseline_ipc or result.ipc
+        line = f"{technique:8s} IPC {result.ipc:6.3f}  ({result.ipc / baseline_ipc:4.2f}x)"
+        if technique == "dvr":
+            stats = result.technique_stats
+            line += (
+                f"   [{int(stats['spawns'])} subthread spawns, "
+                f"{int(stats['nested_spawns'])} nested, "
+                f"{int(stats['subthread_prefetches'])} prefetches]"
+            )
+        print(line)
+    print(
+        "\nWith only 6 followers per user the inner loop is far below the"
+        "\n64-iteration threshold, so DVR leans on Nested Discovery Mode"
+        "\nto gather 128 profile addresses from many users at once."
+    )
+
+
+if __name__ == "__main__":
+    main()

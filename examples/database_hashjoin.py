@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Database probe chains: hash-join with 2 vs 8 dependent lookups.
+
+HJ2/HJ8 model a database hash-join probe whose every level is a serial
+``hash -> load`` dependency — the access pattern that defeats table
+prefetchers (IMP) but that vector runahead overlaps across 128 future
+probes at once. This reproduces the paper's HJ2/HJ8 columns of
+Figure 7 and shows how the chain length changes the picture.
+
+Usage::
+
+    python examples/database_hashjoin.py [instructions]
+"""
+
+import sys
+
+from repro import run_simulation
+
+INSTRUCTIONS = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+TECHNIQUES = ["ooo", "pre", "imp", "vr", "dvr", "oracle"]
+
+
+def main() -> None:
+    results = {}
+    for workload in ("hj2", "hj8"):
+        results[workload] = {
+            tech: run_simulation(workload, tech, max_instructions=INSTRUCTIONS)
+            for tech in TECHNIQUES
+        }
+
+    print(f"{'technique':10s} {'hj2 speedup':>12s} {'hj8 speedup':>12s}")
+    for tech in TECHNIQUES:
+        row = []
+        for workload in ("hj2", "hj8"):
+            base = results[workload]["ooo"].ipc
+            row.append(results[workload][tech].ipc / base)
+        print(f"{tech:10s} {row[0]:11.2f}x {row[1]:11.2f}x")
+
+    hj8_dvr = results["hj8"]["dvr"]
+    print(
+        f"\nhj8 under DVR: {int(hj8_dvr.technique_stats['subthread_prefetches'])} "
+        f"runahead prefetches, mean MSHR occupancy "
+        f"{hj8_dvr.mean_mshr_occupancy:.1f} (of 24)."
+    )
+    print(
+        "Expected shape: IMP learns nothing (hashing breaks linear\n"
+        "correlation); the longer hj8 chain widens DVR's edge because\n"
+        "each of its 8 serial levels is overlapped across all lanes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Graph analytics: DVR across the GAP kernels and Table 2 inputs.
+
+The paper's motivating domain. Runs BFS/CC/SSSP over the power-law (KR)
+and uniform-random (UR) graph profiles and shows:
+
+* the speedup DVR extracts on each kernel/input pair, and
+* how Nested Vector Runahead engages on UR, whose uniformly small
+  vertices leave too few inner-loop iterations to vectorise directly
+  (paper Sections 4.3 and 6.1).
+
+Usage::
+
+    python examples/graph_analytics.py [instructions]
+"""
+
+import sys
+
+from repro import run_simulation
+
+INSTRUCTIONS = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
+KERNELS = ["bfs", "cc", "sssp"]
+INPUTS = ["KR", "UR"]
+
+
+def main() -> None:
+    print(
+        f"{'kernel':8s} {'input':6s} {'ooo IPC':>8s} {'dvr IPC':>8s} "
+        f"{'speedup':>8s} {'nested spawns':>14s} {'plain spawns':>13s}"
+    )
+    for kernel in KERNELS:
+        for input_name in INPUTS:
+            base = run_simulation(
+                kernel, "ooo", max_instructions=INSTRUCTIONS, input_name=input_name
+            )
+            dvr = run_simulation(
+                kernel, "dvr", max_instructions=INSTRUCTIONS, input_name=input_name
+            )
+            stats = dvr.technique_stats
+            nested = int(stats["nested_spawns"])
+            plain = int(stats["spawns"]) - nested
+            print(
+                f"{kernel:8s} {input_name:6s} {base.ipc:8.3f} {dvr.ipc:8.3f} "
+                f"{dvr.ipc / base.ipc:7.2f}x {nested:14d} {plain:13d}"
+            )
+    print(
+        "\nExpected shape: DVR speeds up every pair; the UR input leans"
+        "\nharder on Nested Discovery Mode (short inner loops)."
+    )
+
+
+if __name__ == "__main__":
+    main()

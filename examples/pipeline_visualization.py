@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Watching DVR work: side-by-side pipeline timelines.
+
+Renders the same slice of a workload twice — on the plain OoO core and
+under DVR — using the pipeline-trace API. On the baseline, each
+iteration's dependent loads show long ``=`` execute spans (DRAM round
+trips); under DVR the same loads shrink to L1-hit stubs because the
+subthread prefetched them.
+
+Usage::
+
+    python examples/pipeline_visualization.py [workload] [rows]
+"""
+
+import sys
+
+from repro import OoOCore, SimConfig, make_technique
+from repro.core import pipeview_legend, render_pipeview
+from repro.workloads import build_workload
+
+_args = sys.argv[1:]
+WORKLOAD = _args[0] if _args and not _args[0].isdigit() else "kangaroo"
+_numbers = [a for a in _args if a.isdigit()]
+ROWS = int(_numbers[0]) if _numbers else 24
+SKIP = 2_000  # trace a steady-state window, past the warmup
+
+
+def traced_run(technique_name: str):
+    wl = build_workload(WORKLOAD)
+    core = OoOCore(
+        wl.program,
+        wl.memory,
+        SimConfig(max_instructions=SKIP + ROWS),
+        technique=make_technique(technique_name),
+        workload_name=WORKLOAD,
+        trace_limit=SKIP + ROWS,
+    )
+    core.run()
+    return core.trace[SKIP:]
+
+
+def main() -> None:
+    print(pipeview_legend())
+    for technique in ("ooo", "dvr"):
+        trace = traced_run(technique)
+        print(f"\n--- {WORKLOAD} under {technique} "
+              f"(instructions {SKIP}..{SKIP + ROWS}) ---")
+        print(render_pipeview(trace, max_width=90))
+    print(
+        "\nReading guide: compare the LOAD rows. Long '=' spans are"
+        "\nDRAM round trips on the commit critical path; under dvr most"
+        "\nof them collapse to short L1 hits, and the whole window spans"
+        "\nfar fewer cycles (see the header line of each timeline)."
+    )
+
+
+if __name__ == "__main__":
+    main()

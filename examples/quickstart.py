@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark under every technique.
+
+Runs the paper's running example — the Graph500 top-down BFS step of
+Algorithm 1 — through the out-of-order core with each prefetching and
+runahead technique, printing a one-benchmark slice of Figure 7.
+
+Usage::
+
+    python examples/quickstart.py [instructions]
+"""
+
+import sys
+
+from repro import run_simulation, technique_names
+
+INSTRUCTIONS = int(sys.argv[1]) if len(sys.argv) > 1 else 15_000
+
+
+def main() -> None:
+    print(f"graph500 ({INSTRUCTIONS} instructions per run)\n")
+    baseline = run_simulation("graph500", "ooo", max_instructions=INSTRUCTIONS)
+    print(f"{'technique':14s} {'IPC':>6s} {'speedup':>8s} {'LLC MPKI':>9s} {'MSHRs':>6s}")
+    for technique in technique_names():
+        if technique.startswith("dvr-"):
+            continue  # ablation configs; see examples/ablations via CLI
+        result = (
+            baseline
+            if technique == "ooo"
+            else run_simulation("graph500", technique, max_instructions=INSTRUCTIONS)
+        )
+        print(
+            f"{technique:14s} {result.ipc:6.3f} {result.ipc / baseline.ipc:7.2f}x "
+            f"{result.llc_mpki():9.1f} {result.mean_mshr_occupancy:6.1f}"
+        )
+    print(
+        "\nExpected shape (paper Figure 7): dvr is the best real technique;"
+        "\nvr barely helps on a 350-entry ROB (its trigger rarely pays off);"
+        "\noracle bounds everything."
+    )
+
+
+if __name__ == "__main__":
+    main()

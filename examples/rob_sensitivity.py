@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's headline motivation: VR fades with big ROBs, DVR doesn't.
+
+Sweeps the reorder buffer from 128 to 512 entries (back-end queues
+scaled in proportion, Section 6.5) and prints normalised performance of
+the plain OoO core, Vector Runahead, and Decoupled Vector Runahead —
+Figures 2 and 12 side by side for one workload.
+
+Usage::
+
+    python examples/rob_sensitivity.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import CoreConfig, SimConfig, run_simulation
+
+_args = sys.argv[1:]
+WORKLOAD = _args[0] if _args and not _args[0].isdigit() else "camel"
+_numbers = [a for a in _args if a.isdigit()]
+INSTRUCTIONS = int(_numbers[0]) if _numbers else 12_000
+ROB_SIZES = [128, 192, 224, 350, 512]
+
+
+def main() -> None:
+    reference = run_simulation(
+        WORKLOAD,
+        "ooo",
+        SimConfig().with_core(CoreConfig().with_scaled_backend(350)),
+        max_instructions=INSTRUCTIONS,
+    )
+    print(f"{WORKLOAD}: IPC normalised to OoO@350 (= {reference.ipc:.3f})\n")
+    print(f"{'ROB':>5s} {'ooo':>7s} {'vr':>7s} {'dvr':>7s} {'stall%':>7s}")
+    for rob in ROB_SIZES:
+        cfg = SimConfig().with_core(CoreConfig().with_scaled_backend(rob))
+        row = {}
+        for tech in ("ooo", "vr", "dvr"):
+            row[tech] = run_simulation(
+                WORKLOAD, tech, cfg, max_instructions=INSTRUCTIONS
+            )
+        print(
+            f"{rob:5d} {row['ooo'].ipc / reference.ipc:7.2f} "
+            f"{row['vr'].ipc / reference.ipc:7.2f} "
+            f"{row['dvr'].ipc / reference.ipc:7.2f} "
+            f"{100 * row['ooo'].full_rob_stall_fraction:6.1f}%"
+        )
+    print(
+        "\nExpected shape (Figures 2 & 12): the VR and OoO curves converge"
+        "\nas the ROB grows (stall-triggered runahead loses its trigger),"
+        "\nwhile the DVR curve stays clearly above the OoO curve."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — Vector Runahead / Decoupled Vector Runahead, reproduced.
+
+An execution-driven out-of-order timing simulator in pure Python with
+the full runahead technique family from the Vector Runahead line of
+work (Naithani et al., ISCA 2021 / MICRO 2023):
+
+* classic runahead, Precise Runahead (PRE), the Indirect Memory
+  Prefetcher (IMP), Vector Runahead (VR), Decoupled Vector Runahead
+  (DVR, with Discovery / Nested Discovery modes), and an Oracle bound;
+* the paper's 13 benchmarks over synthetic Table 2 graph inputs;
+* one experiment generator per evaluation table and figure.
+
+Quickstart::
+
+    from repro import run_simulation
+    result = run_simulation("camel", "dvr", max_instructions=20_000)
+    print(result.ipc, result.technique_stats)
+"""
+
+__version__ = "1.0.0"
+
+from .config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    RunaheadConfig,
+    SimConfig,
+)
+from .core import DynInstr, FunctionalCore, OoOCore, SimulationResult
+from .errors import ReproError
+from .experiments import run_simulation
+from .isa import Instruction, Opcode, Program, ProgramBuilder
+from .memory import MemoryHierarchy, MemoryImage
+from .techniques import make_technique, technique_names
+from .workloads import WORKLOAD_NAMES, Workload, build_workload, make_graph
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "DynInstr",
+    "FunctionalCore",
+    "Instruction",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "MemoryImage",
+    "Opcode",
+    "OoOCore",
+    "Program",
+    "ProgramBuilder",
+    "ReproError",
+    "RunaheadConfig",
+    "SimConfig",
+    "SimulationResult",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "build_workload",
+    "make_graph",
+    "make_technique",
+    "run_simulation",
+    "technique_names",
+    "__version__",
+]

@@ -1,0 +1,248 @@
+"""Command-line interface: ``repro`` (or ``python -m repro``).
+
+Examples::
+
+    repro list
+    repro run --workload camel --technique dvr -n 20000
+    repro figure figure7 --instructions 10000
+    repro table table2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .experiments import (
+    compare_techniques,
+    figure2,
+    hardware_cost_table,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    run_simulation,
+    run_sweep,
+    table1_rows,
+    table2_rows,
+)
+from .techniques import technique_names
+from .workloads import GRAPH_PROFILES, WORKLOAD_NAMES
+
+_FIGURES = {
+    "figure2": figure2,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+}
+_TABLES = {
+    "table1": lambda **kw: table1_rows(),
+    "table2": table2_rows,
+    "hwcost": lambda **kw: hardware_cost_table(),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vector Runahead / Decoupled Vector Runahead reproduction",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, techniques, and experiments")
+
+    run_p = sub.add_parser("run", help="simulate one workload/technique pair")
+    run_p.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    run_p.add_argument(
+        "--technique", default="ooo", choices=technique_names() + ["swpf"]
+    )
+    run_p.add_argument("--input", default=None, choices=sorted(GRAPH_PROFILES))
+    run_p.add_argument("-n", "--instructions", type=int, default=20_000)
+    run_p.add_argument(
+        "--cpi", action="store_true", help="print the CPI-stack breakdown"
+    )
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("name", choices=sorted(_FIGURES))
+    fig_p.add_argument("--instructions", type=int, default=15_000)
+    fig_p.add_argument("--workloads", nargs="*", default=None)
+    fig_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+
+    tab_p = sub.add_parser("table", help="regenerate a paper table")
+    tab_p.add_argument("name", choices=sorted(_TABLES))
+    tab_p.add_argument("--instructions", type=int, default=8_000)
+    tab_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+
+    sweep_p = sub.add_parser("sweep", help="sweep one config parameter")
+    sweep_p.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    sweep_p.add_argument(
+        "--technique", default="dvr", choices=technique_names() + ["swpf"]
+    )
+    sweep_p.add_argument(
+        "--param", required=True,
+        help="dotted config path, e.g. runahead.dvr_lanes or core.rob_size",
+    )
+    sweep_p.add_argument("--values", nargs="+", required=True)
+    sweep_p.add_argument("--instructions", type=int, default=8_000)
+    sweep_p.add_argument("--seeds", type=int, default=1, help="workload seeds to average")
+    sweep_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+
+    cmp_p = sub.add_parser("compare", help="workload x technique speedup matrix")
+    cmp_p.add_argument("--workloads", nargs="+", required=True, choices=WORKLOAD_NAMES)
+    cmp_p.add_argument("--techniques", nargs="+", default=["pre", "vr", "dvr"])
+    cmp_p.add_argument("--instructions", type=int, default=8_000)
+    cmp_p.add_argument("--seeds", type=int, default=1)
+    cmp_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+
+    pipe_p = sub.add_parser(
+        "pipeview", help="ASCII pipeline timeline of a run's first instructions"
+    )
+    pipe_p.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    pipe_p.add_argument("--technique", default="ooo", choices=technique_names())
+    pipe_p.add_argument("--rows", type=int, default=40)
+    pipe_p.add_argument("--skip", type=int, default=0,
+                        help="trace after this many warmup instructions")
+    pipe_p.add_argument("--width", type=int, default=100)
+
+    hw_p = sub.add_parser(
+        "hwcost", help="DVR hardware overhead breakdown (paper Section 4.4)"
+    )
+    hw_p.add_argument("--lanes", type=int, default=None)
+    hw_p.add_argument("--stack-depth", type=int, default=None)
+    hw_p.add_argument("--detector-entries", type=int, default=None)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        print("workloads: " + " ".join(WORKLOAD_NAMES))
+        print("graph inputs: " + " ".join(sorted(GRAPH_PROFILES)))
+        print("techniques: " + " ".join(technique_names()))
+        print("figures: " + " ".join(sorted(_FIGURES)))
+        print("tables: " + " ".join(sorted(_TABLES)))
+        return 0
+    if args.command == "run":
+        result = run_simulation(
+            args.workload,
+            args.technique,
+            max_instructions=args.instructions,
+            input_name=args.input,
+        )
+        print(f"workload     : {result.workload}")
+        print(f"technique    : {result.technique}")
+        print(f"instructions : {result.instructions}")
+        print(f"cycles       : {result.cycles}")
+        print(f"IPC          : {result.ipc:.3f}")
+        print(f"backend stall: {100 * result.full_rob_stall_fraction:.1f}%")
+        print(f"LLC MPKI     : {result.llc_mpki():.1f}")
+        print(f"mean MSHRs   : {result.mean_mshr_occupancy:.1f}")
+        print(f"branch MPKI  : {1000 * result.branch_mispredictions / max(1, result.instructions):.1f}")
+        print(f"demand levels: {result.demand_level_counts}")
+        print(f"DRAM sources : {result.dram_by_source}")
+        if args.cpi:
+            print("CPI stack    :")
+            for bucket, value in result.cpi_stack().items():
+                if value >= 0.005:
+                    print(f"  {bucket:16s} {value:6.2f}")
+        if result.technique_stats:
+            print("technique    :")
+            for key, value in sorted(result.technique_stats.items()):
+                print(f"  {key} = {value:.0f}")
+        return 0
+    if args.command == "figure":
+        generator = _FIGURES[args.name]
+        kwargs = {"instructions": args.instructions}
+        if args.workloads:
+            kwargs["workloads"] = args.workloads
+        print(_render(generator(**kwargs), args.format))
+        return 0
+    if args.command == "table":
+        generator = _TABLES[args.name]
+        result = generator(instructions=args.instructions)
+        print(_render(result, args.format))
+        return 0
+    if args.command == "sweep":
+        values = [_parse_value(v) for v in args.values]
+        result = run_sweep(
+            args.workload,
+            args.technique,
+            args.param,
+            values,
+            instructions=args.instructions,
+            seeds=list(range(1, args.seeds + 1)) if args.seeds > 1 else None,
+        )
+        print(_render(result, args.format))
+        return 0
+    if args.command == "compare":
+        result = compare_techniques(
+            args.workloads,
+            args.techniques,
+            instructions=args.instructions,
+            seeds=list(range(1, args.seeds + 1)) if args.seeds > 1 else None,
+        )
+        print(_render(result, args.format))
+        return 0
+    if args.command == "pipeview":
+        from .core import OoOCore, pipeview_legend, render_pipeview
+        from .techniques import make_technique
+        from .workloads import build_workload
+
+        wl = build_workload(args.workload)
+        core = OoOCore(
+            wl.program,
+            wl.memory,
+            technique=make_technique(args.technique),
+            workload_name=args.workload,
+            trace_limit=args.skip + args.rows,
+        )
+        core.run(max_instructions=args.skip + args.rows)
+        print(pipeview_legend())
+        print(render_pipeview(core.trace[args.skip :], max_width=args.width))
+        return 0
+    if args.command == "hwcost":
+        from dataclasses import replace as _replace
+
+        from .config import RunaheadConfig
+        from .runahead import hardware_cost_report
+
+        cfg = RunaheadConfig()
+        if args.lanes is not None:
+            cfg = _replace(cfg, dvr_lanes=args.lanes)
+        if args.stack_depth is not None:
+            cfg = _replace(cfg, reconvergence_stack_depth=args.stack_depth)
+        if args.detector_entries is not None:
+            cfg = _replace(cfg, stride_detector_entries=args.detector_entries)
+        print(hardware_cost_report(cfg))
+        return 0
+    return 1  # pragma: no cover
+
+
+def _parse_value(text: str):
+    try:
+        return int(text)
+    except ValueError:
+        try:
+            return float(text)
+        except ValueError:
+            return text
+
+
+def _render(result, fmt: str) -> str:
+    if fmt == "csv":
+        return result.to_csv()
+    if fmt == "json":
+        return result.to_json()
+    return result.to_text()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,304 @@
+"""A per-cycle out-of-order core model for cross-validation.
+
+`repro.core.ooo.OoOCore` is a mechanistic dataflow model — fast, but
+its queue constraints are analytical approximations. This module is the
+slow, literal counterpart: an explicit cycle loop with a fetch pipe, a
+ROB of entry objects, an issue queue with operand wakeup and per-class
+select, an LSQ, and in-order commit, driving the *same* functional
+front-end, branch predictor, and timed memory hierarchy.
+
+It exists for validation (see ``tests/test_cross_validation.py`` and
+``docs/validation.md``): the two models must agree on architectural
+results exactly and on timing within a modest band across kernels and
+configurations. It supports the plain baseline (no runahead technique)
+— techniques are a property of the fast model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..config import SimConfig
+from ..errors import SimulationError
+from ..frontend.branch_predictor import TageLitePredictor
+from ..isa.instructions import NUM_REGS, Opcode
+from ..isa.program import Program
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.memory_image import MemoryImage
+from ..prefetch.stride import StridePrefetcher
+from .functional import FunctionalCore
+from .ooo import _FU_DIV, _FU_MEM, _OP_CLASS, _FU_INT, SimulationResult
+
+_WAITING = 0
+_READY = 1
+_ISSUED = 2
+_DONE = 3
+
+
+class _Entry:
+    """One ROB/IQ occupant."""
+
+    __slots__ = (
+        "dyn",
+        "state",
+        "deps",
+        "complete_cycle",
+        "fu_class",
+        "in_iq",
+    )
+
+    def __init__(self, dyn, deps, fu_class) -> None:
+        self.dyn = dyn
+        self.state = _WAITING if deps else _READY
+        self.deps = deps  # set of producer entries still outstanding
+        self.complete_cycle: Optional[int] = None
+        self.fu_class = fu_class
+        self.in_iq = True
+
+
+class CycleCore:
+    """Literal cycle-by-cycle simulation of the Table 1 baseline."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory_image: MemoryImage,
+        config: Optional[SimConfig] = None,
+        workload_name: str = "workload",
+    ) -> None:
+        self.config = config or SimConfig()
+        self.program = program
+        self.memory_image = memory_image
+        self.workload_name = workload_name
+        self.hierarchy = MemoryHierarchy(self.config.memory)
+        self.predictor = TageLitePredictor(self.config.branch)
+        self.functional = FunctionalCore(program, memory_image)
+        self.l1_stride_prefetcher: Optional[StridePrefetcher] = None
+        if self.config.stride_prefetcher_enabled:
+            self.l1_stride_prefetcher = StridePrefetcher(
+                streams=self.config.stride_prefetcher_streams,
+                degree=self.config.stride_prefetcher_degree,
+            )
+        self._ran = False
+
+    # -- the cycle loop -----------------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> SimulationResult:
+        if self._ran:
+            raise SimulationError("a CycleCore instance can only run once")
+        self._ran = True
+        cfg = self.config.core
+        limit = max_instructions or self.config.max_instructions
+        width = cfg.width
+        fu_units = {
+            _FU_INT: cfg.int_alu_units,
+            "mul": cfg.int_mul_units,
+            "div": cfg.int_div_units,
+            "fadd": cfg.fp_add_units,
+            "fmul": cfg.fp_mul_units,
+            "fdiv": cfg.fp_div_units,
+            _FU_MEM: cfg.mem_ports,
+        }
+        fu_latency = {
+            _FU_INT: cfg.int_alu_latency,
+            "mul": cfg.int_mul_latency,
+            "div": cfg.int_div_latency,
+            "fadd": cfg.fp_add_latency,
+            "fmul": cfg.fp_mul_latency,
+            "fdiv": cfg.fp_div_latency,
+        }
+
+        rob: Deque[_Entry] = deque()
+        iq_occupancy = 0
+        lq_occupancy = 0
+        sq_occupancy = 0
+        # Fetch pipe: (dyn, dispatch_ready_cycle) after the front-end depth.
+        fetch_pipe: Deque = deque()
+        reg_producer: List[Optional[_Entry]] = [None] * NUM_REGS
+        consumers: Dict[int, List[_Entry]] = {}  # id(entry) -> waiters
+        div_busy_until = 0
+        fetch_stalled_until = 0
+        fetch_stalled_on: Optional[_Entry] = None
+        fetched = 0
+        committed = 0
+        cycle = 0
+        stall_cycles = 0
+        done_fetching = False
+        max_cycles = 400 * limit + 100_000  # runaway guard
+
+        while committed < limit and cycle < max_cycles:
+            # ---- commit (oldest first, up to width) ----
+            commits = 0
+            while rob and commits < width and rob[0].state == _DONE:
+                entry = rob.popleft()
+                if entry.dyn.instr.is_load:
+                    lq_occupancy -= 1
+                elif entry.dyn.instr.is_store:
+                    sq_occupancy -= 1
+                committed += 1
+                commits += 1
+                if committed >= limit:
+                    break
+
+            # ---- writeback / wakeup ----
+            for entry in rob:
+                if entry.state == _ISSUED and entry.complete_cycle <= cycle:
+                    entry.state = _DONE
+                    for waiter in consumers.pop(id(entry), []):
+                        waiter.deps.discard(id(entry))
+                        if not waiter.deps and waiter.state == _WAITING:
+                            waiter.state = _READY
+
+            # ---- issue (ready entries, per-class bandwidth) ----
+            issued_per_class = {cls: 0 for cls in fu_units}
+            for entry in rob:
+                if entry.state != _READY:
+                    continue
+                cls = entry.fu_class
+                if issued_per_class[cls] >= fu_units[cls]:
+                    continue
+                op = entry.dyn.instr.opcode
+                if cls == _FU_DIV and div_busy_until > cycle:
+                    continue
+                if op is Opcode.LOAD:
+                    addr = entry.dyn.addr
+                    if self.hierarchy.load_needs_mshr(
+                        addr, cycle
+                    ) and not self.hierarchy.mshr_available(cycle):
+                        continue  # retry next cycle
+                    result = self.hierarchy.access(addr, cycle, source="main")
+                    entry.complete_cycle = result.ready
+                    if self.l1_stride_prefetcher is not None:
+                        self.l1_stride_prefetcher.on_demand_load(
+                            entry.dyn.pc, addr, cycle, self.hierarchy
+                        )
+                elif op is Opcode.STORE:
+                    self.hierarchy.access(
+                        entry.dyn.addr, cycle, source="main", write=True
+                    )
+                    entry.complete_cycle = cycle + 1
+                elif op is Opcode.PREFETCH:
+                    if entry.dyn.addr is not None and self.memory_image.is_mapped(
+                        entry.dyn.addr
+                    ):
+                        if self.hierarchy.mshr_available(cycle):
+                            self.hierarchy.access(
+                                entry.dyn.addr, cycle, source="prefetcher", prefetch=True
+                            )
+                    entry.complete_cycle = cycle + 1
+                elif entry.dyn.instr.is_branch or op in (Opcode.NOP, Opcode.HALT):
+                    entry.complete_cycle = cycle + 1
+                else:
+                    entry.complete_cycle = cycle + fu_latency[cls]
+                    if cls == _FU_DIV:
+                        div_busy_until = cycle + fu_latency[cls]
+                entry.state = _ISSUED
+                if entry.in_iq:
+                    entry.in_iq = False
+                    iq_occupancy -= 1
+                issued_per_class[cls] += 1
+                # Branch resolution unblocks fetch after the redirect.
+                if entry is fetch_stalled_on:
+                    fetch_stalled_until = entry.complete_cycle + 1
+                    fetch_stalled_on = None
+
+            # ---- dispatch (fetch pipe -> ROB/IQ/LSQ) ----
+            dispatched = 0
+            progress = False
+            while (
+                fetch_pipe
+                and dispatched < width
+                and len(rob) < cfg.rob_size
+                and iq_occupancy < cfg.iq_size
+                and fetch_pipe[0][1] <= cycle
+            ):
+                dyn, _ = fetch_pipe[0]
+                instr = dyn.instr
+                if instr.is_load and lq_occupancy >= cfg.lq_size:
+                    break
+                if instr.is_store and sq_occupancy >= cfg.sq_size:
+                    break
+                fetch_pipe.popleft()
+                deps = set()
+                entry = _Entry(dyn, deps, _OP_CLASS.get(instr.opcode, _FU_INT))
+                for src in instr.sources():
+                    producer = reg_producer[src]
+                    if producer is not None and producer.state != _DONE:
+                        deps.add(id(producer))
+                        consumers.setdefault(id(producer), []).append(entry)
+                entry.state = _WAITING if deps else _READY
+                if instr.rd is not None:
+                    reg_producer[instr.rd] = entry
+                rob.append(entry)
+                iq_occupancy += 1
+                if instr.is_load:
+                    lq_occupancy += 1
+                elif instr.is_store:
+                    sq_occupancy += 1
+                dispatched += 1
+                progress = True
+
+            # ---- fetch ----
+            if not done_fetching and fetch_stalled_on is None and cycle >= fetch_stalled_until:
+                for _ in range(width):
+                    if fetched >= limit or len(fetch_pipe) >= 2 * width * cfg.frontend_stages:
+                        break
+                    dyn = self.functional.step()
+                    if dyn is None:
+                        done_fetching = True
+                        break
+                    fetched += 1
+                    fetch_pipe.append((dyn, cycle + cfg.frontend_stages))
+                    instr = dyn.instr
+                    if instr.is_conditional_branch:
+                        predicted = self.predictor.predict(dyn.pc)
+                        self.predictor.update(dyn.pc, dyn.taken, predicted)
+                        if predicted != dyn.taken:
+                            # Stall fetch until this branch executes.
+                            fetch_stalled_on = None
+                            fetch_stalled_until = 1 << 60
+                            self._pending_branch_dyn = dyn
+                            break
+            # Bind the stalled-on marker to the branch's ROB entry once
+            # it has been dispatched (it may even have issued already).
+            if fetch_stalled_until == 1 << 60 and fetch_stalled_on is None:
+                pending = getattr(self, "_pending_branch_dyn", None)
+                for entry in rob:
+                    if entry.dyn is pending:
+                        if entry.state in (_ISSUED, _DONE):
+                            fetch_stalled_until = entry.complete_cycle + 1
+                        else:
+                            fetch_stalled_on = entry
+                        self._pending_branch_dyn = None
+                        break
+
+            if rob and rob[0].state != _DONE:
+                stall_cycles += 0  # placeholder for symmetry
+            if not rob and not fetch_pipe and done_fetching:
+                break
+            cycle += 1
+
+        if cycle >= max_cycles:
+            raise SimulationError("CycleCore exceeded its cycle guard")
+        self.hierarchy.finalize_timeliness()
+        cycles = max(1, cycle)
+        stats = self.hierarchy.stats
+        return SimulationResult(
+            workload=self.workload_name,
+            technique="ooo-cycle",
+            instructions=committed,
+            cycles=cycles,
+            full_rob_stall_cycles=0,
+            stall_episodes=0,
+            commit_block_cycles=0,
+            branch_predictions=self.predictor.predictions,
+            branch_mispredictions=self.predictor.mispredictions,
+            demand_loads=stats.demand_loads,
+            demand_level_counts=dict(stats.demand_level_counts),
+            dram_by_source=dict(stats.dram_by_source),
+            prefetches_by_source=dict(stats.prefetches_by_source),
+            timeliness=dict(stats.timeliness),
+            mean_mshr_occupancy=self.hierarchy.mean_mshr_occupancy(cycles),
+            technique_stats={},
+        )

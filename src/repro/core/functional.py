@@ -1,0 +1,102 @@
+"""Architectural (functional) execution of a program.
+
+The timing core is execution-driven at fetch: each call to
+:meth:`FunctionalCore.step` architecturally executes one instruction and
+returns its :class:`DynInstr`. Stores update the shared memory image
+immediately, so speculative interpreters (runahead engines) observe
+memory as of the fetch point — see DESIGN.md for why this is faithful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import SimulationError
+from ..isa.instructions import NUM_REGS, Instruction, Opcode
+from ..isa.program import Program
+from ..isa.semantics import alu_evaluate
+from ..memory.memory_image import MemoryImage
+from .dyninstr import DynInstr
+
+
+class FunctionalCore:
+    """Sequential interpreter with architectural register state."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryImage,
+        entry: int = 0,
+        initial_regs: Optional[List] = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory
+        self.pc = entry
+        self.regs: List = list(initial_regs) if initial_regs else [0] * NUM_REGS
+        if len(self.regs) != NUM_REGS:
+            raise SimulationError("initial register file has wrong size")
+        self.halted = False
+        self.executed = 0
+
+    def step(self) -> Optional[DynInstr]:
+        """Execute one instruction; None once the program has halted."""
+        if self.halted:
+            return None
+        if not 0 <= self.pc < len(self.program):
+            raise SimulationError(f"PC out of range: {self.pc}")
+        instr: Instruction = self.program[self.pc]
+        op = instr.opcode
+        seq = self.executed
+        pc = self.pc
+        value = None
+        addr = None
+        taken = None
+        next_pc = pc + 1
+
+        if op is Opcode.HALT:
+            self.halted = True
+            dyn = DynInstr(seq, pc, instr, next_pc=pc)
+            self.executed += 1
+            return dyn
+        if op is Opcode.LOAD:
+            addr = int(self.regs[instr.rs1]) + instr.imm
+            value = self.memory.read_word(addr)
+            self.regs[instr.rd] = value
+        elif op is Opcode.STORE:
+            addr = int(self.regs[instr.rs1]) + instr.imm
+            self.memory.write_word(addr, self.regs[instr.rs2])
+        elif op is Opcode.PREFETCH:
+            # Non-binding hint: computes an address, never faults.
+            base = self.regs[instr.rs1]
+            addr = int(base) + instr.imm if isinstance(base, int) else None
+        elif op is Opcode.BNZ:
+            taken = self.regs[instr.rs1] != 0
+            if taken:
+                next_pc = instr.target
+        elif op is Opcode.BEZ:
+            taken = self.regs[instr.rs1] == 0
+            if taken:
+                next_pc = instr.target
+        elif op is Opcode.JMP:
+            next_pc = instr.target
+        elif op is Opcode.NOP:
+            pass
+        else:
+            a = self.regs[instr.rs1] if instr.rs1 is not None else None
+            b = self.regs[instr.rs2] if instr.rs2 is not None else None
+            value = alu_evaluate(op, a, b, instr.imm)
+            self.regs[instr.rd] = value
+
+        self.pc = next_pc
+        self.executed += 1
+        return DynInstr(seq, pc, instr, value=value, addr=addr, taken=taken, next_pc=next_pc)
+
+    def run_to_completion(self, max_instructions: int = 10_000_000) -> int:
+        """Run functionally only (no timing); returns instruction count."""
+        while not self.halted:
+            if self.executed >= max_instructions:
+                raise SimulationError(
+                    f"program did not halt within {max_instructions} instructions"
+                )
+            self.step()
+        return self.executed

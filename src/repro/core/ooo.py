@@ -1,0 +1,548 @@
+"""The out-of-order timing core.
+
+A mechanistic dataflow model in the style of Sniper's core models
+(Carlson et al., the simulator the paper uses): each dynamic instruction
+is processed in program order and assigned fetch / dispatch / issue /
+complete / commit cycles subject to
+
+* front-end width and depth (5-wide, 15 stages),
+* finite ROB / issue-queue / load-queue / store-queue occupancy,
+* register dataflow (an instruction issues when its producers complete),
+* functional-unit ports and latencies (Table 1),
+* MSHR-limited, bandwidth-limited timed memory accesses, and
+* branch misprediction redirects from a TAGE-lite predictor.
+
+Full-ROB stalls — dispatch blocked because the instruction ``ROB-size``
+ago has not committed, with a cache-missing load to blame — are detected
+here and handed to the attached technique, which is how classic
+runahead, PRE and Vector Runahead trigger. Decoupled techniques (DVR)
+instead use the per-commit and ``advance_to`` hooks.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..config import SimConfig
+from ..errors import SimulationError
+from ..frontend.branch_predictor import TageLitePredictor
+from ..isa.instructions import NUM_REGS, Opcode
+from ..isa.program import Program
+from ..memory.hierarchy import LEVEL_DRAM, LEVEL_L1, LEVEL_MSHR, MemoryHierarchy
+from ..memory.memory_image import MemoryImage
+from ..prefetch.base import NullTechnique, Technique
+from ..prefetch.stride import StridePrefetcher
+from .functional import FunctionalCore
+
+
+def _dict_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """Per-key difference of two counter dictionaries (ROI accounting)."""
+    return {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in after
+        if after.get(key, 0) - before.get(key, 0)
+    }
+
+# Functional-unit class per opcode (latency resolved from CoreConfig).
+_FU_INT = "int"
+_FU_MUL = "mul"
+_FU_DIV = "div"
+_FU_FADD = "fadd"
+_FU_FMUL = "fmul"
+_FU_FDIV = "fdiv"
+_FU_MEM = "mem"
+
+# CPI-stack buckets for loads, by hierarchy service level.
+_MEM_BUCKETS = {
+    "L1": "mem_l1",
+    "MSHR": "mem_dram",
+    "L2": "mem_l2",
+    "L3": "mem_l3",
+    "DRAM": "mem_dram",
+}
+
+_OP_CLASS = {
+    Opcode.MUL: _FU_MUL,
+    Opcode.HASH: _FU_MUL,
+    Opcode.DIV: _FU_DIV,
+    Opcode.FADD: _FU_FADD,
+    Opcode.FMUL: _FU_FMUL,
+    Opcode.FDIV: _FU_FDIV,
+    Opcode.LOAD: _FU_MEM,
+    Opcode.STORE: _FU_MEM,
+    Opcode.PREFETCH: _FU_MEM,
+}
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiment harness needs from one run."""
+
+    workload: str
+    technique: str
+    instructions: int
+    cycles: int
+    full_rob_stall_cycles: int
+    stall_episodes: int
+    commit_block_cycles: int
+    branch_predictions: int
+    branch_mispredictions: int
+    demand_loads: int
+    demand_level_counts: Dict[str, int]
+    dram_by_source: Dict[str, int]
+    prefetches_by_source: Dict[str, int]
+    timeliness: Dict[str, int]
+    mean_mshr_occupancy: float
+    technique_stats: Dict[str, float] = field(default_factory=dict)
+    cycle_buckets: Dict[str, int] = field(default_factory=dict)
+
+    def cpi_stack(self) -> Dict[str, float]:
+        """Cycles-per-instruction attribution (Sniper-style CPI stack).
+
+        Buckets: ``base`` (full-width flow), ``mem_l1/l2/l3/dram``
+        (load service level on the commit critical path), ``branch``
+        (mispredict redirects), ``dependency`` (register dataflow),
+        ``issue_contention`` (FU ports), ``backend_full`` (dispatch
+        blocked on ROB/IQ/LQ/SQ), ``frontend``, ``commit_width``, and
+        ``runahead_block`` (VR's delayed termination). Values sum to
+        the run's CPI.
+        """
+        if not self.instructions:
+            return {}
+        return {
+            bucket: cycles / self.instructions
+            for bucket, cycles in sorted(self.cycle_buckets.items())
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly dump of every metric (for external tooling)."""
+        return {
+            "workload": self.workload,
+            "technique": self.technique,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "full_rob_stall_cycles": self.full_rob_stall_cycles,
+            "stall_episodes": self.stall_episodes,
+            "commit_block_cycles": self.commit_block_cycles,
+            "branch_predictions": self.branch_predictions,
+            "branch_mispredictions": self.branch_mispredictions,
+            "demand_loads": self.demand_loads,
+            "demand_level_counts": dict(self.demand_level_counts),
+            "dram_by_source": dict(self.dram_by_source),
+            "prefetches_by_source": dict(self.prefetches_by_source),
+            "timeliness": dict(self.timeliness),
+            "mean_mshr_occupancy": self.mean_mshr_occupancy,
+            "llc_mpki": self.llc_mpki(),
+            "cpi_stack": self.cpi_stack(),
+            "technique_stats": dict(self.technique_stats),
+        }
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def full_rob_stall_fraction(self) -> float:
+        return self.full_rob_stall_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def dram_accesses(self) -> int:
+        return sum(self.dram_by_source.values())
+
+    def llc_mpki(self) -> float:
+        """Misses (DRAM accesses) per kilo-instruction."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.dram_accesses / self.instructions
+
+
+class OoOCore:
+    """Drives one program through the timing model with one technique."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory_image: MemoryImage,
+        config: Optional[SimConfig] = None,
+        technique: Optional[Technique] = None,
+        workload_name: str = "workload",
+        trace_limit: int = 0,
+    ) -> None:
+        self.config = config or SimConfig()
+        self.program = program
+        self.memory_image = memory_image
+        self.technique = technique or NullTechnique()
+        self.workload_name = workload_name
+        self.hierarchy = MemoryHierarchy(
+            self.config.memory, ideal=self.technique.wants_ideal_memory
+        )
+        self.predictor = TageLitePredictor(self.config.branch)
+        self.functional = FunctionalCore(program, memory_image)
+        self.l1_stride_prefetcher: Optional[StridePrefetcher] = None
+        if self.config.stride_prefetcher_enabled:
+            self.l1_stride_prefetcher = StridePrefetcher(
+                streams=self.config.stride_prefetcher_streams,
+                degree=self.config.stride_prefetcher_degree,
+            )
+        self.technique.attach(self)
+        self._ran = False
+        #: When trace_limit > 0, per-instruction pipeline timestamps for
+        #: the first N instructions: (seq, pc, op, fetch, dispatch, ready,
+        #: issue, complete, commit). A debugging/teaching aid.
+        self.trace_limit = trace_limit
+        self.trace: list = []
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, max_instructions: Optional[int] = None) -> SimulationResult:
+        if self._ran:
+            raise SimulationError("an OoOCore instance can only run once")
+        self._ran = True
+        cfg = self.config.core
+        limit = max_instructions or self.config.max_instructions
+        width = cfg.width
+        fe_depth = cfg.frontend_stages
+        rob_size = cfg.rob_size
+        iq_size = cfg.iq_size
+        lq_size = cfg.lq_size
+        sq_size = cfg.sq_size
+
+        # Port bandwidth: issue is out of order, so a port unused at cycle
+        # X is free at X regardless of processing order. We count issues
+        # per (class, cycle) and linearly probe for a free slot.
+        fu_units: Dict[str, int] = {
+            _FU_INT: cfg.int_alu_units,
+            _FU_MUL: cfg.int_mul_units,
+            _FU_DIV: cfg.int_div_units,
+            _FU_FADD: cfg.fp_add_units,
+            _FU_FMUL: cfg.fp_mul_units,
+            _FU_FDIV: cfg.fp_div_units,
+            _FU_MEM: cfg.mem_ports,
+        }
+        fu_busy: Dict[str, Dict[int, int]] = {cls: {} for cls in fu_units}
+        fu_latency = {
+            _FU_INT: cfg.int_alu_latency,
+            _FU_MUL: cfg.int_mul_latency,
+            _FU_DIV: cfg.int_div_latency,
+            _FU_FADD: cfg.fp_add_latency,
+            _FU_FMUL: cfg.fp_mul_latency,
+            _FU_FDIV: cfg.fp_div_latency,
+        }
+
+        fetch_ring = [0] * width
+        commit_ring = [0] * width
+        rob_commit_ring = [0] * rob_size
+        # blame ring: (complete_cycle, was_memory_miss) of the would-be head
+        rob_blame_ring = [(0, False, None)] * rob_size
+        # The IQ and LQ free entries out of order: an entry is available
+        # once *any* occupant leaves. We track the ``size`` largest
+        # leave-times in a min-heap; its minimum is the cycle at which the
+        # next slot frees (an order-statistic, not a FIFO ring).
+        iq_heap: list = []
+        lq_heap: list = []
+        sq_ring = [0] * sq_size
+        reg_ready = [0] * NUM_REGS
+
+        technique = self.technique
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        stride_pf = self.l1_stride_prefetcher
+
+        next_fetch = 0
+        prev_commit = 0
+        loads_seen = 0
+        stores_seen = 0
+        full_rob_stall_cycles = 0
+        stall_episodes = 0
+        commit_block_cycles = 0
+        stall_handled_until = 0
+        stall_covered_until = 0
+        last_miss_complete = 0
+        last_redirect_cycle = -1
+        cpi_buckets: Dict[str, int] = {}
+        warmup = max(0, self.config.warmup_instructions)
+        warmup_snapshot = None
+        i = 0
+
+        while i < limit:
+            dyn = self.functional.step()
+            if dyn is None:
+                break
+            instr = dyn.instr
+            op = instr.opcode
+
+            # ---- fetch ----
+            fetch = next_fetch
+            if technique.fetch_blocked_until > fetch:
+                fetch = technique.fetch_blocked_until
+            if i >= width:
+                prior = fetch_ring[i % width] + 1
+                if prior > fetch:
+                    fetch = prior
+            fetch_ring[i % width] = fetch
+
+            # ---- dispatch (rename + queue allocation) ----
+            dispatch = fetch + fe_depth
+            backend_constraint = 0
+            head_dyn = None
+            head_was_miss = False
+            if len(iq_heap) >= iq_size and iq_heap[0] > backend_constraint:
+                backend_constraint = iq_heap[0]
+            if op is Opcode.LOAD and len(lq_heap) >= lq_size and lq_heap[0] > backend_constraint:
+                backend_constraint = lq_heap[0]
+            if op is Opcode.STORE and stores_seen >= sq_size:
+                constraint = sq_ring[stores_seen % sq_size]
+                if constraint > backend_constraint:
+                    backend_constraint = constraint
+            if i >= rob_size:
+                rob_constraint = rob_commit_ring[i % rob_size]
+                if rob_constraint > backend_constraint:
+                    backend_constraint = rob_constraint
+                head_complete, head_was_miss, head_dyn = rob_blame_ring[i % rob_size]
+            if backend_constraint > dispatch:
+                # Backend-full stall (full ROB, or a full IQ/LQ/SQ with the
+                # same oldest-miss root cause). The wall-clock stall begins
+                # where the previous stall epoch ended — dispatch has been
+                # continuously blocked — not at this instruction's own
+                # fetch-side readiness.
+                covered_from = max(dispatch, stall_covered_until)
+                if backend_constraint > covered_from:
+                    full_rob_stall_cycles += backend_constraint - covered_from
+                    stall_covered_until = backend_constraint
+                    # Blame memory when an outstanding demand miss spans
+                    # the stall window (the classic runahead trigger).
+                    memory_blamed = head_was_miss or (
+                        last_miss_complete > covered_from
+                    )
+                    if memory_blamed and covered_from >= stall_handled_until:
+                        stall_episodes += 1
+                        technique.on_full_rob_stall(
+                            covered_from, backend_constraint, head_dyn or dyn
+                        )
+                        stall_handled_until = backend_constraint
+                dispatch = backend_constraint
+
+            # ---- register readiness ----
+            ready = dispatch
+            rs1 = instr.rs1
+            rs2 = instr.rs2
+            if rs1 is not None and reg_ready[rs1] > ready:
+                ready = reg_ready[rs1]
+            if rs2 is not None and reg_ready[rs2] > ready:
+                ready = reg_ready[rs2]
+
+            # ---- issue + execute ----
+            fu_class = _OP_CLASS.get(op, _FU_INT)
+            busy = fu_busy[fu_class]
+            capacity = fu_units[fu_class]
+            issue = ready
+            while busy.get(issue, 0) >= capacity:
+                issue += 1
+            busy[issue] = busy.get(issue, 0) + 1
+            if fu_class == _FU_DIV:
+                # Divides are unpipelined: occupy the unit for the full
+                # latency.
+                for extra in range(1, fu_latency[_FU_DIV]):
+                    busy[issue + extra] = busy.get(issue + extra, 0) + 1
+
+            was_memory_miss = False
+            if op is Opcode.LOAD:
+                technique.advance_to(issue)
+                addr = dyn.addr
+                # The load leaves the IQ at issue; if every MSHR is busy it
+                # waits in the LSQ for one to free before accessing memory.
+                mem_start = issue
+                if hierarchy.load_needs_mshr(addr, issue) and not hierarchy.mshr_available(issue):
+                    wait = hierarchy.mshr_next_free(issue)
+                    if wait > mem_start:
+                        mem_start = wait
+                result = hierarchy.access(addr, mem_start, source="main")
+                complete = result.ready
+                was_memory_miss = result.level in (LEVEL_DRAM, LEVEL_MSHR)
+                if was_memory_miss and complete > last_miss_complete:
+                    last_miss_complete = complete
+                if stride_pf is not None:
+                    stride_pf.on_demand_load(dyn.pc, addr, mem_start, hierarchy)
+                technique.on_demand_load(dyn, mem_start, result)
+                heapq.heappush(lq_heap, complete)
+                if len(lq_heap) > lq_size:
+                    heapq.heappop(lq_heap)
+                loads_seen += 1
+            elif op is Opcode.STORE:
+                hierarchy.access(dyn.addr, issue, source="main", write=True)
+                complete = issue + 1
+            elif op is Opcode.PREFETCH:
+                if (
+                    dyn.addr is not None
+                    and self.memory_image.is_mapped(dyn.addr)
+                    and hierarchy.mshr_available(issue)
+                ):
+                    hierarchy.access(
+                        dyn.addr, issue, source="prefetcher", prefetch=True
+                    )
+                complete = issue + 1
+            elif op in (Opcode.BNZ, Opcode.BEZ):
+                complete = issue + 1
+                predicted = predictor.predict(dyn.pc)
+                predictor.update(dyn.pc, dyn.taken, predicted)
+                if predicted != dyn.taken:
+                    # Redirect: fetch restarts after the branch resolves.
+                    redirect = complete + 1
+                    if redirect > next_fetch:
+                        next_fetch = redirect
+                        last_redirect_cycle = redirect
+            elif op in (Opcode.JMP, Opcode.NOP, Opcode.HALT):
+                complete = issue + 1
+            else:
+                complete = issue + fu_latency[fu_class]
+
+            # ---- in-order commit ----
+            commit_floor = prev_commit
+            commit = complete + 1
+            if prev_commit > commit:
+                commit = prev_commit
+            if i >= width and commit_ring[i % width] + 1 > commit:
+                commit = commit_ring[i % width] + 1
+            blocked_until = technique.commit_blocked_until
+            technique_blocked = False
+            if blocked_until > commit:
+                commit_block_cycles += blocked_until - commit
+                commit = blocked_until
+                technique_blocked = True
+            commit_ring[i % width] = commit
+            prev_commit = commit
+
+            # ---- CPI-stack attribution (Sniper-style cycle accounting) --
+            # The cycles this instruction adds at the commit point are
+            # charged to the structure on its critical path.
+            delta = commit - commit_floor
+            if delta > 0:
+                if technique_blocked:
+                    bucket = "runahead_block"
+                elif commit == complete + 1:
+                    if op is Opcode.LOAD:
+                        bucket = _MEM_BUCKETS.get(result.level, "mem_dram")
+                    elif fetch == last_redirect_cycle:
+                        bucket = "branch"
+                    elif issue > ready:
+                        bucket = "issue_contention"
+                    elif ready > dispatch:
+                        bucket = "dependency"
+                    elif dispatch > fetch + fe_depth:
+                        bucket = "backend_full"
+                    else:
+                        bucket = "frontend"
+                else:
+                    bucket = "commit_width"
+                cpi_buckets[bucket] = cpi_buckets.get(bucket, 0) + delta
+
+            # ---- bookkeeping for later occupancy constraints ----
+            rob_commit_ring[i % rob_size] = commit
+            rob_blame_ring[i % rob_size] = (complete, was_memory_miss, dyn)
+            heapq.heappush(iq_heap, issue)
+            if len(iq_heap) > iq_size:
+                heapq.heappop(iq_heap)
+            if op is Opcode.STORE:
+                sq_ring[stores_seen % sq_size] = commit
+                stores_seen += 1
+            rd = instr.rd
+            if rd is not None:
+                reg_ready[rd] = complete
+
+            if i < self.trace_limit:
+                self.trace.append(
+                    (i, dyn.pc, op.name, fetch, dispatch, ready, issue, complete, commit)
+                )
+            technique.on_commit(dyn, commit, complete)
+            i += 1
+            if warmup and i == warmup:
+                warmup_snapshot = self._snapshot(
+                    prev_commit,
+                    full_rob_stall_cycles,
+                    stall_episodes,
+                    commit_block_cycles,
+                    cpi_buckets,
+                )
+
+        technique.advance_to(prev_commit)
+        technique.finalize(prev_commit)
+        hierarchy.finalize_timeliness()
+        stats = hierarchy.stats
+        instructions = i
+        cycles = max(1, prev_commit)
+        full_stall = full_rob_stall_cycles
+        episodes = stall_episodes
+        commit_blocked = commit_block_cycles
+        predictions = predictor.predictions
+        mispredictions = predictor.mispredictions
+        demand_loads = stats.demand_loads
+        level_counts = dict(stats.demand_level_counts)
+        dram = dict(stats.dram_by_source)
+        prefetches = dict(stats.prefetches_by_source)
+        timeliness = dict(stats.timeliness)
+        buckets = dict(cpi_buckets)
+        if warmup_snapshot is not None and instructions > warmup:
+            snap = warmup_snapshot
+            instructions -= warmup
+            cycles = max(1, prev_commit - snap["commit"])
+            full_stall -= snap["full_rob_stall_cycles"]
+            episodes -= snap["stall_episodes"]
+            commit_blocked -= snap["commit_block_cycles"]
+            predictions -= snap["predictions"]
+            mispredictions -= snap["mispredictions"]
+            demand_loads -= snap["demand_loads"]
+            level_counts = _dict_delta(level_counts, snap["level_counts"])
+            dram = _dict_delta(dram, snap["dram"])
+            prefetches = _dict_delta(prefetches, snap["prefetches"])
+            timeliness = _dict_delta(timeliness, snap["timeliness"])
+            buckets = _dict_delta(buckets, snap["cpi_buckets"])
+        # Everything not attributed above flowed at full width.
+        buckets["base"] = max(0, cycles - sum(buckets.values()))
+        return SimulationResult(
+            workload=self.workload_name,
+            technique=self.technique.name,
+            instructions=instructions,
+            cycles=cycles,
+            full_rob_stall_cycles=full_stall,
+            stall_episodes=episodes,
+            commit_block_cycles=commit_blocked,
+            branch_predictions=predictions,
+            branch_mispredictions=mispredictions,
+            demand_loads=demand_loads,
+            demand_level_counts=level_counts,
+            dram_by_source=dram,
+            prefetches_by_source=prefetches,
+            timeliness=timeliness,
+            mean_mshr_occupancy=hierarchy.mean_mshr_occupancy(max(1, prev_commit)),
+            technique_stats=self.technique.stats(),
+            cycle_buckets=buckets,
+        )
+
+    def _snapshot(
+        self,
+        commit: int,
+        full_rob_stall_cycles: int,
+        stall_episodes: int,
+        commit_block_cycles: int,
+        cpi_buckets: Dict[str, int],
+    ) -> Dict:
+        """Capture counters at the warmup boundary (ROI support)."""
+        stats = self.hierarchy.stats
+        return {
+            "commit": commit,
+            "full_rob_stall_cycles": full_rob_stall_cycles,
+            "stall_episodes": stall_episodes,
+            "commit_block_cycles": commit_block_cycles,
+            "predictions": self.predictor.predictions,
+            "mispredictions": self.predictor.mispredictions,
+            "demand_loads": stats.demand_loads,
+            "level_counts": dict(stats.demand_level_counts),
+            "dram": dict(stats.dram_by_source),
+            "prefetches": dict(stats.prefetches_by_source),
+            "timeliness": dict(stats.timeliness),
+            "cpi_buckets": dict(cpi_buckets),
+        }

@@ -1,0 +1,79 @@
+"""ASCII pipeline visualisation (gem5-pipeview style).
+
+Renders an :class:`OoOCore` trace — per-instruction fetch / dispatch /
+issue / complete / commit timestamps — as a scrolling timeline, one
+instruction per row:
+
+```
+   seq pc   op      |f....d--i=====c~C              |
+```
+
+* ``f`` fetch, ``d`` dispatch, ``i`` issue, ``c`` complete, ``C`` commit
+* ``.`` in the front-end (fetch -> dispatch)
+* ``-`` waiting in the issue queue (dispatch -> issue)
+* ``=`` executing / waiting on memory (issue -> complete)
+* ``~`` waiting to commit (complete -> commit)
+
+Used by ``repro pipeview`` and handy in tests and notebooks for seeing
+exactly where dependent loads serialise and what a runahead technique
+changed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+TraceRow = Tuple[int, int, str, int, int, int, int, int, int]
+
+
+def render_pipeview(
+    trace: Sequence[TraceRow],
+    max_width: int = 100,
+    start: Optional[int] = None,
+) -> str:
+    """Render trace rows (from ``OoOCore.trace``) as a timeline."""
+    if not trace:
+        return "(empty trace)"
+    first_cycle = start if start is not None else min(row[3] for row in trace)
+    last_cycle = max(row[8] for row in trace)
+    span = max(1, last_cycle - first_cycle)
+    scale = max(1.0, span / max_width)
+
+    def col(cycle: int) -> int:
+        return int((cycle - first_cycle) / scale)
+
+    width = col(last_cycle) + 1
+    lines = [
+        f"cycles {first_cycle}..{last_cycle}"
+        + (f" (1 column = {scale:.1f} cycles)" if scale > 1 else ""),
+    ]
+    for seq, pc, op, fetch, dispatch, ready, issue, complete, commit in trace:
+        row = [" "] * width
+        for lo, hi, fill in (
+            (fetch, dispatch, "."),
+            (dispatch, issue, "-"),
+            (issue, complete, "="),
+            (complete, commit, "~"),
+        ):
+            for c in range(col(lo) + 1, col(hi)):
+                if 0 <= c < width:
+                    row[c] = fill
+        for cycle, mark in (
+            (fetch, "f"),
+            (dispatch, "d"),
+            (issue, "i"),
+            (complete, "c"),
+            (commit, "C"),
+        ):
+            c = col(cycle)
+            if 0 <= c < width:
+                row[c] = mark
+        lines.append(f"{seq:5d} {pc:4d} {op:7s}|{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def pipeview_legend() -> str:
+    return (
+        "f fetch  d dispatch  i issue  c complete  C commit\n"
+        ". front-end   - issue-queue wait   = execute/memory   ~ commit wait"
+    )

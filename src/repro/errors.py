@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch one type at the API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class AssemblyError(ReproError):
+    """A program could not be assembled (bad register, unknown label...)."""
+
+
+class MemoryError_(ReproError):
+    """An access touched an address outside every allocated segment."""
+
+
+class SegmentOverlapError(MemoryError_):
+    """A new segment would overlap an existing allocation."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is out of its legal range."""
+
+
+class WorkloadError(ReproError):
+    """A workload could not be constructed from the given parameters."""

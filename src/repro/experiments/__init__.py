@@ -1,0 +1,43 @@
+"""Experiment harness: one generator per paper table/figure.
+
+Every generator returns an :class:`ExperimentResult` whose rows are the
+series the paper plots; ``to_text()`` renders the table the benchmark
+harness prints. See DESIGN.md for the experiment index.
+"""
+
+from .figures import (
+    figure2,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+)
+from .parallel import run_batch, speedup_matrix
+from .report import ExperimentResult, format_table, harmonic_mean
+from .runner import run_simulation
+from .sweep import apply_override, compare_techniques, run_sweep
+from .tables import hardware_cost_table, table1_rows, table2_rows
+
+__all__ = [
+    "ExperimentResult",
+    "figure2",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "format_table",
+    "harmonic_mean",
+    "run_batch",
+    "run_simulation",
+    "speedup_matrix",
+    "run_sweep",
+    "compare_techniques",
+    "apply_override",
+    "hardware_cost_table",
+    "table1_rows",
+    "table2_rows",
+]

@@ -1,0 +1,100 @@
+"""Result container and plain-text table rendering."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Cell]]) -> str:
+    """Fixed-width text table (the benches print these)."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for col, cell in enumerate(row):
+            widths[col] = max(widths[col], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
+def harmonic_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]]
+    notes: List[str] = field(default_factory=list)
+    series: Dict[str, Dict] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_csv(self) -> str:
+        """Comma-separated rows (headers first) for external plotting."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """JSON document with id, title, headers, rows, and notes."""
+        return json.dumps(
+            {
+                "experiment_id": self.experiment_id,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    def column(self, header: str) -> List[Cell]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_for(self, key: Cell) -> List[Cell]:
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(key)

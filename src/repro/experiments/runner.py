@@ -1,0 +1,66 @@
+"""Single-run entry point shared by figures, benchmarks, and the CLI."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SimConfig
+from ..core.ooo import OoOCore, SimulationResult
+from ..isa.swpf import insert_software_prefetches
+from ..techniques import make_technique
+from ..workloads import build_workload
+
+#: Pseudo-technique: the CGO 2017 software-prefetching compiler pass
+#: applied to the workload, run on the plain OoO core.
+SOFTWARE_PREFETCH = "swpf"
+
+
+def run_simulation(
+    workload: str,
+    technique: str = "ooo",
+    config: Optional[SimConfig] = None,
+    max_instructions: Optional[int] = None,
+    input_name: Optional[str] = None,
+    size: str = "default",
+    seed: Optional[int] = None,
+) -> SimulationResult:
+    """Build a fresh workload and simulate it under one technique.
+
+    ``input_name`` selects the Table 2 graph profile for GAP kernels
+    (ignored by the hpc-db set). ``seed`` re-rolls the workload's input
+    data (for multi-seed experiments). ``max_instructions`` overrides
+    the config's region length.
+    """
+    kwargs = {"size": size}
+    if input_name is not None:
+        kwargs["input_name"] = input_name
+    if seed is not None:
+        kwargs["seed"] = seed
+    try:
+        wl = build_workload(workload, **kwargs)
+    except TypeError:
+        # hpc-db workloads take no input_name.
+        kwargs.pop("input_name", None)
+        wl = build_workload(workload, **kwargs)
+    cfg = config or SimConfig()
+    if max_instructions is not None:
+        cfg = cfg.with_max_instructions(max_instructions)
+    program = wl.program
+    if technique == SOFTWARE_PREFETCH:
+        # A compiler transformation, not a hardware technique: insert
+        # look-ahead prefetches and run on the plain OoO core.
+        program = insert_software_prefetches(program)
+        core_technique = make_technique("ooo")
+    else:
+        core_technique = make_technique(technique)
+    core = OoOCore(
+        program,
+        wl.memory,
+        cfg,
+        technique=core_technique,
+        workload_name=wl.name if input_name is None else f"{wl.name}_{input_name}",
+    )
+    result = core.run()
+    if technique == SOFTWARE_PREFETCH:
+        result.technique = SOFTWARE_PREFETCH
+    return result

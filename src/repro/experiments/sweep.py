@@ -1,0 +1,155 @@
+"""Generic parameter sweeps and multi-seed comparisons.
+
+Two building blocks beyond the fixed paper figures:
+
+* :func:`run_sweep` — vary one configuration parameter (addressed by a
+  dotted path like ``runahead.dvr_lanes`` or ``core.rob_size``) and
+  report IPC/speedup at each point, optionally averaged over several
+  workload seeds.
+* :func:`compare_techniques` — a workload x technique speedup matrix
+  with mean and standard deviation over seeds.
+
+Both return :class:`ExperimentResult` so they print/export like the
+paper figures, and both back the ``repro sweep`` / ``repro compare``
+CLI commands.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import is_dataclass, replace
+from typing import List, Optional, Sequence
+
+from ..config import SimConfig
+from ..errors import ConfigError
+from .report import ExperimentResult
+from .runner import run_simulation
+
+
+def apply_override(config: SimConfig, path: str, value) -> SimConfig:
+    """Return a config with the dotted ``path`` replaced by ``value``.
+
+    ``apply_override(cfg, "runahead.dvr_lanes", 64)`` and
+    ``apply_override(cfg, "max_instructions", 5000)`` both work; every
+    intermediate node must be a (frozen) dataclass field.
+    """
+    parts = path.split(".")
+
+    def rebuild(node, remaining: List[str]):
+        name = remaining[0]
+        if not is_dataclass(node) or not hasattr(node, name):
+            raise ConfigError(f"no config field {path!r} (failed at {name!r})")
+        if len(remaining) == 1:
+            current = getattr(node, name)
+            coerced = type(current)(value) if current is not None else value
+            return replace(node, **{name: coerced})
+        child = rebuild(getattr(node, name), remaining[1:])
+        return replace(node, **{name: child})
+
+    return rebuild(config, parts)
+
+
+def _seed_list(seeds: Optional[Sequence[int]]) -> List[Optional[int]]:
+    if not seeds:
+        return [None]
+    return list(seeds)
+
+
+def run_sweep(
+    workload: str,
+    technique: str,
+    parameter: str,
+    values: Sequence,
+    instructions: int = 8_000,
+    seeds: Optional[Sequence[int]] = None,
+    baseline_technique: str = "ooo",
+    input_name: Optional[str] = None,
+) -> ExperimentResult:
+    """Sweep one config parameter; rows: value, mean IPC, mean speedup."""
+    seed_list = _seed_list(seeds)
+    rows: List[List] = []
+    for value in values:
+        config = apply_override(SimConfig(max_instructions=instructions), parameter, value)
+        ipcs: List[float] = []
+        speedups: List[float] = []
+        for seed in seed_list:
+            base = run_simulation(
+                workload,
+                baseline_technique,
+                config,
+                input_name=input_name,
+                seed=seed,
+            )
+            result = run_simulation(
+                workload, technique, config, input_name=input_name, seed=seed
+            )
+            ipcs.append(result.ipc)
+            if base.ipc:
+                speedups.append(result.ipc / base.ipc)
+        row: List = [value, statistics.fmean(ipcs), statistics.fmean(speedups)]
+        if len(seed_list) > 1:
+            row.append(statistics.stdev(speedups))
+        rows.append(row)
+    headers = [parameter, "ipc", f"speedup_vs_{baseline_technique}"]
+    if len(seed_list) > 1:
+        headers.append("speedup_stdev")
+    return ExperimentResult(
+        "sweep",
+        f"{workload}/{technique}: sweep of {parameter}"
+        + (f" over {len(seed_list)} seeds" if len(seed_list) > 1 else ""),
+        headers,
+        rows,
+    )
+
+
+def compare_techniques(
+    workloads: Sequence[str],
+    techniques: Sequence[str],
+    instructions: int = 8_000,
+    seeds: Optional[Sequence[int]] = None,
+    input_name: Optional[str] = None,
+) -> ExperimentResult:
+    """Speedup matrix (mean over seeds; +/- stdev columns when >1 seed)."""
+    seed_list = _seed_list(seeds)
+    multi = len(seed_list) > 1
+    headers = ["workload"]
+    for tech in techniques:
+        headers.append(tech)
+        if multi:
+            headers.append(f"{tech}_stdev")
+    rows: List[List] = []
+    for workload in workloads:
+        row: List = [workload]
+        per_seed_base = {
+            seed: run_simulation(
+                workload,
+                "ooo",
+                SimConfig(max_instructions=instructions),
+                input_name=input_name,
+                seed=seed,
+            )
+            for seed in seed_list
+        }
+        for tech in techniques:
+            speedups = []
+            for seed in seed_list:
+                result = run_simulation(
+                    workload,
+                    tech,
+                    SimConfig(max_instructions=instructions),
+                    input_name=input_name,
+                    seed=seed,
+                )
+                base = per_seed_base[seed]
+                speedups.append(result.ipc / base.ipc if base.ipc else 0.0)
+            row.append(statistics.fmean(speedups))
+            if multi:
+                row.append(statistics.stdev(speedups))
+        rows.append(row)
+    return ExperimentResult(
+        "compare",
+        "Speedup over OoO"
+        + (f" (mean over {len(seed_list)} seeds)" if multi else ""),
+        headers,
+        rows,
+    )

@@ -1,0 +1,5 @@
+"""Front-end components: branch prediction."""
+
+from .branch_predictor import TageLitePredictor
+
+__all__ = ["TageLitePredictor"]

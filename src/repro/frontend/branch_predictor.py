@@ -1,0 +1,141 @@
+"""TAGE-lite: a small TAGE-style conditional branch predictor.
+
+Stands in for the paper's 8KB TAGE-SC-L (CBP-2016). A bimodal base
+table backs a set of tagged tables indexed with geometrically longer
+global-history folds. This reproduces the qualitative behaviour the
+paper's evaluation depends on: near-perfect accuracy on regular loops,
+and frequent mispredicts on data-dependent graph branches (which keep
+the ROB from filling and starve stall-triggered runahead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..config import BranchPredictorConfig
+
+
+@dataclass
+class _TaggedEntry:
+    tag: int = 0
+    counter: int = 4  # 3-bit, taken if >= 4
+    useful: int = 0
+
+
+class _TaggedTable:
+    def __init__(self, entries_bits: int, tag_bits: int, history_length: int) -> None:
+        self.size = 1 << entries_bits
+        self.index_mask = self.size - 1
+        self.tag_mask = (1 << tag_bits) - 1
+        self.history_length = history_length
+        self.entries: List[_TaggedEntry] = [_TaggedEntry() for _ in range(self.size)]
+
+    def _fold(self, history: int, bits: int) -> int:
+        """Fold ``history_length`` history bits down to ``bits`` bits."""
+        hist = history & ((1 << self.history_length) - 1)
+        folded = 0
+        while hist:
+            folded ^= hist & ((1 << bits) - 1)
+            hist >>= bits
+        return folded
+
+    def index(self, pc: int, history: int) -> int:
+        return (pc ^ (pc >> 4) ^ self._fold(history, 10)) & self.index_mask
+
+    def tag(self, pc: int, history: int) -> int:
+        return (pc ^ self._fold(history, 8) ^ (self._fold(history, 7) << 1)) & self.tag_mask
+
+
+class TageLitePredictor:
+    """Predict/update interface used by the timing core."""
+
+    def __init__(self, config: Optional[BranchPredictorConfig] = None) -> None:
+        config = config or BranchPredictorConfig()
+        self.config = config
+        self._bimodal = [2] * (1 << config.bimodal_bits)  # 2-bit, taken if >= 2
+        self._bimodal_mask = (1 << config.bimodal_bits) - 1
+        lengths = self._geometric_lengths(
+            config.min_history, config.max_history, config.num_tagged_tables
+        )
+        self._tables = [
+            _TaggedTable(config.tagged_entries_bits, config.tag_bits, length)
+            for length in lengths
+        ]
+        self._history = 0
+        self._alloc_seed = 0x9E3779B9
+        self.predictions = 0
+        self.mispredictions = 0
+
+    @staticmethod
+    def _geometric_lengths(lo: int, hi: int, n: int) -> List[int]:
+        if n == 1:
+            return [lo]
+        ratio = (hi / lo) ** (1 / (n - 1))
+        return [max(1, round(lo * ratio**i)) for i in range(n)]
+
+    # -- prediction ------------------------------------------------------------
+
+    def _provider(self, pc: int):
+        """Longest-history tagged table with a tag match, or None."""
+        for table_index in range(len(self._tables) - 1, -1, -1):
+            table = self._tables[table_index]
+            entry = table.entries[table.index(pc, self._history)]
+            if entry.tag == table.tag(pc, self._history):
+                return table_index, entry
+        return None
+
+    def predict(self, pc: int) -> bool:
+        self.predictions += 1
+        provider = self._provider(pc)
+        if provider is not None:
+            return provider[1].counter >= 4
+        return self._bimodal[pc & self._bimodal_mask] >= 2
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        if taken != predicted:
+            self.mispredictions += 1
+        provider = self._provider(pc)
+        if provider is not None:
+            table_index, entry = provider
+            entry.counter = min(7, entry.counter + 1) if taken else max(0, entry.counter - 1)
+            if (entry.counter >= 4) == taken:
+                entry.useful = min(3, entry.useful + 1)
+            elif taken != predicted:
+                entry.useful = max(0, entry.useful - 1)
+        else:
+            table_index = -1
+            slot = pc & self._bimodal_mask
+            if taken:
+                self._bimodal[slot] = min(3, self._bimodal[slot] + 1)
+            else:
+                self._bimodal[slot] = max(0, self._bimodal[slot] - 1)
+        if taken != predicted:
+            self._allocate(pc, taken, table_index)
+        self._history = ((self._history << 1) | (1 if taken else 0)) & ((1 << 128) - 1)
+
+    def _allocate(self, pc: int, taken: bool, provider_index: int) -> None:
+        """On a mispredict, claim an entry in a longer-history table."""
+        candidates = range(provider_index + 1, len(self._tables))
+        self._alloc_seed = (self._alloc_seed * 1103515245 + 12345) & 0x7FFFFFFF
+        start = self._alloc_seed % max(1, len(self._tables) - provider_index - 1 or 1)
+        ordered = list(candidates)
+        ordered = ordered[start:] + ordered[:start]
+        for table_index in ordered:
+            table = self._tables[table_index]
+            entry = table.entries[table.index(pc, self._history)]
+            if entry.useful == 0:
+                entry.tag = table.tag(pc, self._history)
+                entry.counter = 4 if taken else 3
+                entry.useful = 0
+                return
+        # Nothing free: age a random longer table's entry.
+        for table_index in ordered:
+            table = self._tables[table_index]
+            entry = table.entries[table.index(pc, self._history)]
+            entry.useful = max(0, entry.useful - 1)
+
+    def misprediction_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions

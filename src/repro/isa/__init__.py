@@ -1,0 +1,34 @@
+"""A small word-oriented RISC ISA used by every workload kernel.
+
+The ISA is deliberately minimal but sufficient to express the paper's
+benchmark kernels: striding loads, multi-level indirect chains,
+data-dependent inner loops, compare/branch pairs (which the DVR
+loop-bound detector keys on), hashes, and a few float ops for PageRank.
+"""
+
+from .instructions import (
+    NUM_REGS,
+    Instruction,
+    Opcode,
+    OperandKind,
+    is_address_op,
+    reg_name,
+)
+from .program import Program, ProgramBuilder
+from .semantics import HASH_MASK, alu_evaluate, hash64
+from .swpf import insert_software_prefetches
+
+__all__ = [
+    "NUM_REGS",
+    "Instruction",
+    "Opcode",
+    "OperandKind",
+    "Program",
+    "ProgramBuilder",
+    "HASH_MASK",
+    "alu_evaluate",
+    "hash64",
+    "insert_software_prefetches",
+    "is_address_op",
+    "reg_name",
+]

@@ -1,0 +1,262 @@
+"""Program container and the builder/assembler used by workloads."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from ..errors import AssemblyError
+from .instructions import NUM_REGS, Instruction, Opcode
+
+RegLike = Union[int, str]
+
+
+def _parse_reg(reg: RegLike) -> int:
+    """Accept either an int index or an 'rN' string."""
+    if isinstance(reg, int):
+        index = reg
+    elif isinstance(reg, str) and reg.startswith("r") and reg[1:].isdigit():
+        index = int(reg[1:])
+    else:
+        raise AssemblyError(f"bad register operand: {reg!r}")
+    if not 0 <= index < NUM_REGS:
+        raise AssemblyError(f"register index out of range: {reg!r}")
+    return index
+
+
+class Program:
+    """An assembled program: instructions with resolved branch targets."""
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        labels: Optional[Dict[str, int]] = None,
+        name: str = "program",
+    ) -> None:
+        self.instructions: Tuple[Instruction, ...] = tuple(instructions)
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.name = name
+        self._address_slice: Optional[Set[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def pc_of(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise AssemblyError(f"unknown label {label!r}") from None
+
+    def address_slice_pcs(self) -> Set[int]:
+        """PCs of instructions in the (flow-insensitive) load-address slice.
+
+        Used by Precise Runahead's instruction filter: only instructions
+        whose results can transitively feed a load address are executed in
+        runahead mode. Computed once and cached.
+        """
+        if self._address_slice is not None:
+            return self._address_slice
+        relevant_regs: Set[int] = set()
+        for instr in self.instructions:
+            if instr.is_load and instr.rs1 is not None:
+                relevant_regs.add(instr.rs1)
+        changed = True
+        while changed:
+            changed = False
+            for instr in self.instructions:
+                if instr.rd is None or instr.is_load:
+                    continue
+                if instr.rd in relevant_regs:
+                    for src in instr.sources():
+                        if src not in relevant_regs:
+                            relevant_regs.add(src)
+                            changed = True
+        pcs: Set[int] = set()
+        for pc, instr in enumerate(self.instructions):
+            if instr.is_load or instr.is_branch or instr.opcode is Opcode.HALT:
+                pcs.add(pc)
+            elif instr.rd is not None and instr.rd in relevant_regs:
+                pcs.add(pc)
+            elif instr.is_compare:
+                pcs.add(pc)
+        self._address_slice = pcs
+        return pcs
+
+    def listing(self) -> str:
+        """Human-readable disassembly with labels."""
+        by_pc: Dict[int, List[str]] = {}
+        for label, pc in self.labels.items():
+            by_pc.setdefault(pc, []).append(label)
+        lines = []
+        for pc, instr in enumerate(self.instructions):
+            for label in by_pc.get(pc, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:4d}  {instr}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Fluent assembler. Branch targets may be labels defined later.
+
+    Example::
+
+        b = ProgramBuilder("count")
+        b.li("r1", 0)
+        b.label("loop")
+        b.addi("r1", "r1", 1)
+        b.cmp_lt("r2", "r1", "r3")
+        b.bnz("r2", "loop")
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "program") -> None:
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[Tuple[int, str]] = []
+
+    # -- assembly plumbing -------------------------------------------------
+
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise AssemblyError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def _emit(
+        self,
+        opcode: Opcode,
+        rd: Optional[RegLike] = None,
+        rs1: Optional[RegLike] = None,
+        rs2: Optional[RegLike] = None,
+        imm: int = 0,
+        target: Optional[str] = None,
+        note: str = "",
+    ) -> "ProgramBuilder":
+        pc = len(self._instructions)
+        resolved_target: Optional[int] = None
+        if target is not None:
+            self._fixups.append((pc, target))
+        self._instructions.append(
+            Instruction(
+                opcode=opcode,
+                rd=None if rd is None else _parse_reg(rd),
+                rs1=None if rs1 is None else _parse_reg(rs1),
+                rs2=None if rs2 is None else _parse_reg(rs2),
+                imm=imm,
+                target=resolved_target,
+                note=note,
+            )
+        )
+        return self
+
+    def build(self) -> Program:
+        instructions = list(self._instructions)
+        for pc, label in self._fixups:
+            if label not in self._labels:
+                raise AssemblyError(f"undefined label {label!r}")
+            old = instructions[pc]
+            instructions[pc] = Instruction(
+                opcode=old.opcode,
+                rd=old.rd,
+                rs1=old.rs1,
+                rs2=old.rs2,
+                imm=old.imm,
+                target=self._labels[label],
+                note=old.note,
+            )
+        if not instructions or instructions[-1].opcode is not Opcode.HALT:
+            instructions.append(Instruction(Opcode.HALT))
+        return Program(instructions, self._labels, self.name)
+
+    # -- one method per opcode ---------------------------------------------
+
+    def li(self, rd: RegLike, imm: int, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.LI, rd=rd, imm=imm, note=note)
+
+    def mov(self, rd: RegLike, rs1: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.MOV, rd=rd, rs1=rs1, note=note)
+
+    def add(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.ADD, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def addi(self, rd: RegLike, rs1: RegLike, imm: int, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm, note=note)
+
+    def sub(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.SUB, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def mul(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.MUL, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def div(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.DIV, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def and_(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.AND, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def andi(self, rd: RegLike, rs1: RegLike, imm: int, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.ANDI, rd=rd, rs1=rs1, imm=imm, note=note)
+
+    def or_(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.OR, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def xor(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.XOR, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def shli(self, rd: RegLike, rs1: RegLike, imm: int, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.SHLI, rd=rd, rs1=rs1, imm=imm, note=note)
+
+    def shri(self, rd: RegLike, rs1: RegLike, imm: int, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.SHRI, rd=rd, rs1=rs1, imm=imm, note=note)
+
+    def hash(self, rd: RegLike, rs1: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.HASH, rd=rd, rs1=rs1, note=note)
+
+    def fadd(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.FADD, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def fmul(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.FMUL, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def fdiv(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.FDIV, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def load(self, rd: RegLike, rs1: RegLike, imm: int = 0, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.LOAD, rd=rd, rs1=rs1, imm=imm, note=note)
+
+    def store(self, rs2: RegLike, rs1: RegLike, imm: int = 0, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.STORE, rs1=rs1, rs2=rs2, imm=imm, note=note)
+
+    def prefetch(self, rs1: RegLike, imm: int = 0, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.PREFETCH, rs1=rs1, imm=imm, note=note)
+
+    def cmp_lt(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.CMP_LT, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def cmp_eq(self, rd: RegLike, rs1: RegLike, rs2: RegLike, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.CMP_EQ, rd=rd, rs1=rs1, rs2=rs2, note=note)
+
+    def cmp_lti(self, rd: RegLike, rs1: RegLike, imm: int, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.CMP_LTI, rd=rd, rs1=rs1, imm=imm, note=note)
+
+    def bnz(self, rs1: RegLike, target: str, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.BNZ, rs1=rs1, target=target, note=note)
+
+    def bez(self, rs1: RegLike, target: str, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.BEZ, rs1=rs1, target=target, note=note)
+
+    def jmp(self, target: str, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.JMP, target=target, note=note)
+
+    def nop(self, note: str = "") -> "ProgramBuilder":
+        return self._emit(Opcode.NOP, note=note)
+
+    def halt(self) -> "ProgramBuilder":
+        return self._emit(Opcode.HALT)

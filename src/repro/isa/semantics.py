@@ -1,0 +1,74 @@
+"""Shared functional semantics for ALU operations.
+
+A single evaluation function is used by the functional core, the runahead
+interpreters, and the DVR vector subthread, so every execution context
+computes identical values.
+"""
+
+from __future__ import annotations
+
+from .instructions import Opcode
+
+HASH_MASK = (1 << 63) - 1  # keep hashes non-negative 63-bit values
+_U64 = (1 << 64) - 1
+
+
+def hash64(value: int) -> int:
+    """Deterministic splitmix64-style mixer (the paper's ``hash()``)."""
+    x = int(value) & _U64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _U64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _U64
+    x = x ^ (x >> 31)
+    return x & HASH_MASK
+
+
+def alu_evaluate(opcode: Opcode, a, b, imm: int):
+    """Evaluate a non-memory, non-branch operation.
+
+    ``a`` is the rs1 value, ``b`` the rs2 value (either may be None when
+    unused). Returns the destination value. Division by zero yields 0,
+    matching a speculative context that must never fault.
+    """
+    if opcode is Opcode.LI:
+        return imm
+    if opcode is Opcode.MOV:
+        return a
+    if opcode is Opcode.ADD:
+        return a + b
+    if opcode is Opcode.ADDI:
+        return a + imm
+    if opcode is Opcode.SUB:
+        return a - b
+    if opcode is Opcode.MUL:
+        return a * b
+    if opcode is Opcode.DIV:
+        return a // b if b else 0
+    if opcode is Opcode.AND:
+        return a & b
+    if opcode is Opcode.ANDI:
+        return a & imm
+    if opcode is Opcode.OR:
+        return a | b
+    if opcode is Opcode.XOR:
+        return a ^ b
+    if opcode is Opcode.SHLI:
+        return a << imm
+    if opcode is Opcode.SHRI:
+        return a >> imm
+    if opcode is Opcode.HASH:
+        return hash64(a)
+    if opcode is Opcode.CMP_LT:
+        return 1 if a < b else 0
+    if opcode is Opcode.CMP_EQ:
+        return 1 if a == b else 0
+    if opcode is Opcode.CMP_LTI:
+        return 1 if a < imm else 0
+    if opcode is Opcode.FADD:
+        return float(a) + float(b)
+    if opcode is Opcode.FMUL:
+        return float(a) * float(b)
+    if opcode is Opcode.FDIV:
+        return float(a) / float(b) if b else 0.0
+    if opcode is Opcode.NOP:
+        return None
+    raise ValueError(f"alu_evaluate cannot handle {opcode}")

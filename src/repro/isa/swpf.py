@@ -1,0 +1,242 @@
+"""Software prefetching for indirect memory accesses (Ainsworth &
+Jones, CGO 2017) — as a compiler pass over repro programs.
+
+The VR line of work repeatedly compares against software prefetching:
+a compiler finds loads of the form ``B[A[i]]`` inside counted loops and
+inserts, into the loop body, code that loads the *future* index
+``A[i+D]`` and issues a non-binding ``PREFETCH`` of ``B[A[i+D]]``
+(plus a plain prefetch of ``A[i+2D]`` for the index array itself).
+
+This pass implements the canonical transformation:
+
+1. find an innermost counted loop — a compare feeding a conditional
+   backward branch, with an induction register stepped by a constant
+   ``ADDI`` inside the body;
+2. classify the body's loads: *direct* loads whose address is
+   ``base + (i << 3)`` with loop-invariant ``base``, and *indirect*
+   loads whose address is ``base2 + (v << 3)`` where ``v`` is a direct
+   load's destination;
+3. for every (direct, indirect) pair, emit at the top of the body a
+   guarded look-ahead block using scratch registers the program never
+   touches:
+
+   ```
+   addi   t, i, D
+   cmp_lt g, t, bound          # stay in bounds: the look-ahead index
+   bez    g, skip              # load is a *real* load and must not fault
+   shli   t, t, 3
+   add    t, base, t
+   load   v', t                # A[i+D]
+   shli   v', v', 3
+   add    v', base2, v'
+   prefetch v'                 # &B[A[i+D]]
+   skip:
+   ```
+
+Like the real compiler pass, it costs instruction overhead in exchange
+for memory overlap, only reaches one level of indirection per inserted
+load, and needs an in-bounds guard (the paper's masking/clamping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import AssemblyError
+from .instructions import NUM_REGS, Instruction, Opcode
+from .program import Program
+
+DEFAULT_DISTANCE = 16
+
+
+@dataclass
+class _Loop:
+    start: int  # first body pc (branch target)
+    branch_pc: int  # the conditional backward branch
+    induction: int  # register stepped by a constant ADDI in the body
+    step: int
+    bound_reg: Optional[int]  # register compared against (None: imm bound)
+    bound_imm: Optional[int]
+
+
+@dataclass
+class _IndirectPair:
+    direct_pc: int
+    direct_base: int  # base register of the index array
+    indirect_base: int  # base register of the data array
+
+
+def _find_innermost_loop(program: Program) -> Optional[_Loop]:
+    """The first smallest [target, branch] conditional backward edge."""
+    candidates: List[Tuple[int, int]] = []
+    for pc, instr in enumerate(program):
+        if instr.is_conditional_branch and instr.target is not None and instr.target <= pc:
+            candidates.append((pc - instr.target, pc))
+    if not candidates:
+        return None
+    _, branch_pc = min(candidates)
+    branch = program[branch_pc]
+    start = branch.target
+    # The compare feeding the branch.
+    compare = None
+    for pc in range(branch_pc - 1, start - 1, -1):
+        instr = program[pc]
+        if instr.is_compare and instr.rd == branch.rs1:
+            compare = instr
+            break
+    if compare is None:
+        return None
+    # The induction register: a compare source stepped by constant ADDI.
+    for pc in range(start, branch_pc):
+        instr = program[pc]
+        if instr.opcode is Opcode.ADDI and instr.rd == instr.rs1:
+            if instr.rd == compare.rs1:
+                bound_reg = compare.rs2
+                bound_imm = compare.imm if compare.opcode is Opcode.CMP_LTI else None
+                if compare.opcode is Opcode.CMP_LTI:
+                    bound_reg = None
+                return _Loop(start, branch_pc, instr.rd, instr.imm, bound_reg, bound_imm)
+            if compare.rs2 is not None and instr.rd == compare.rs2:
+                return _Loop(start, branch_pc, instr.rd, instr.imm, compare.rs1, None)
+    return None
+
+
+def _body_written_regs(program: Program, loop: _Loop) -> Set[int]:
+    written = set()
+    for pc in range(loop.start, loop.branch_pc + 1):
+        rd = program[pc].rd
+        if rd is not None:
+            written.add(rd)
+    return written
+
+
+def _find_indirect_pairs(program: Program, loop: _Loop) -> List[_IndirectPair]:
+    """Match the canonical SHLI/ADD/LOAD address idiom in the body."""
+    written = _body_written_regs(program, loop)
+    direct_loads: Dict[int, Tuple[int, int]] = {}  # dest reg -> (pc, base)
+    pairs: List[_IndirectPair] = []
+
+    def address_parts(pc: int) -> Optional[Tuple[int, int]]:
+        """For LOAD at pc with the idiom shli t,src,3; add t,base,t;
+        load d,t — return (src_reg, base_reg)."""
+        load = program[pc]
+        if pc < loop.start + 2:
+            return None
+        add = program[pc - 1]
+        shli = program[pc - 2]
+        if (
+            add.opcode is Opcode.ADD
+            and shli.opcode is Opcode.SHLI
+            and shli.imm == 3
+            and add.rd == load.rs1
+            and shli.rd in (add.rs1, add.rs2)
+        ):
+            base = add.rs2 if shli.rd == add.rs1 else add.rs1
+            if base not in written:  # loop-invariant base
+                return shli.rs1, base
+        return None
+
+    for pc in range(loop.start, loop.branch_pc):
+        instr = program[pc]
+        if not instr.is_load:
+            continue
+        parts = address_parts(pc)
+        if parts is None:
+            continue
+        src, base = parts
+        if src == loop.induction:
+            direct_loads[instr.rd] = (pc, base)
+        elif src in direct_loads:
+            _, direct_base = direct_loads[src]
+            pairs.append(_IndirectPair(direct_loads[src][0], direct_base, base))
+    return pairs
+
+
+def _free_registers(program: Program, count: int) -> List[int]:
+    used: Set[int] = set()
+    for instr in program:
+        for reg in (instr.rd, instr.rs1, instr.rs2):
+            if reg is not None:
+                used.add(reg)
+    free = [reg for reg in range(NUM_REGS - 1, 0, -1) if reg not in used]
+    if len(free) < count:
+        raise AssemblyError(
+            f"software prefetching needs {count} scratch registers; "
+            f"only {len(free)} are unused"
+        )
+    return free[:count]
+
+
+def insert_software_prefetches(
+    program: Program, distance: int = DEFAULT_DISTANCE
+) -> Program:
+    """Return a new program with look-ahead prefetches in the innermost
+    loop (the input program is unchanged). If no suitable loop or
+    indirect pair exists, the program is returned as-is.
+    """
+    loop = _find_innermost_loop(program)
+    if loop is None or loop.step <= 0:
+        return program
+    pairs = _find_indirect_pairs(program, loop)
+    if not pairs:
+        return program
+    scratch = _free_registers(program, 2)
+    t, g = scratch[0], scratch[1]
+
+    prologue: List[Instruction] = []
+    for pair in pairs:
+        lookahead = distance * loop.step
+        # t = i + D (in index units)
+        prologue.append(
+            Instruction(Opcode.ADDI, rd=t, rs1=loop.induction, imm=lookahead)
+        )
+        # guard: t < bound
+        if loop.bound_reg is not None:
+            prologue.append(Instruction(Opcode.CMP_LT, rd=g, rs1=t, rs2=loop.bound_reg))
+        else:
+            prologue.append(
+                Instruction(Opcode.CMP_LTI, rd=g, rs1=t, imm=loop.bound_imm or 0)
+            )
+        guard_index = len(prologue)
+        prologue.append(Instruction(Opcode.BEZ, rs1=g, target=-1))  # patched below
+        prologue.append(Instruction(Opcode.SHLI, rd=t, rs1=t, imm=3))
+        prologue.append(Instruction(Opcode.ADD, rd=t, rs1=pair.direct_base, rs2=t))
+        prologue.append(Instruction(Opcode.LOAD, rd=t, rs1=t, imm=0))
+        prologue.append(Instruction(Opcode.SHLI, rd=t, rs1=t, imm=3))
+        prologue.append(Instruction(Opcode.ADD, rd=t, rs1=pair.indirect_base, rs2=t))
+        prologue.append(Instruction(Opcode.PREFETCH, rs1=t, imm=0))
+        # Patch the guard's target to just past this pair's block.
+        prologue[guard_index] = Instruction(
+            Opcode.BEZ, rs1=g, target=loop.start + len(prologue)
+        )
+
+    offset = len(prologue)
+    new_instructions: List[Instruction] = []
+    for pc, instr in enumerate(program):
+        if pc == loop.start:
+            new_instructions.extend(prologue)
+        if instr.target is not None:
+            # Retarget branches across the inserted block. Branches *to*
+            # the loop start land on the prologue (so it runs every
+            # iteration); others shift only if they point past it.
+            if instr.target >= loop.start:
+                new_target = instr.target + offset
+                if instr.target == loop.start:
+                    new_target = loop.start  # run the prologue each time
+                instr = Instruction(
+                    opcode=instr.opcode,
+                    rd=instr.rd,
+                    rs1=instr.rs1,
+                    rs2=instr.rs2,
+                    imm=instr.imm,
+                    target=new_target,
+                    note=instr.note,
+                )
+        new_instructions.append(instr)
+
+    labels = {
+        name: (pc + offset if pc > loop.start else pc)
+        for name, pc in program.labels.items()
+    }
+    return Program(new_instructions, labels, program.name + "+swpf")

@@ -1,0 +1,18 @@
+"""Memory subsystem: functional image plus the timed cache hierarchy."""
+
+from .cache import Cache
+from .dram import Dram
+from .hierarchy import AccessResult, HierarchyStats, MemoryHierarchy
+from .memory_image import MemoryImage, Segment
+from .mshr import MSHRFile
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "Dram",
+    "HierarchyStats",
+    "MemoryHierarchy",
+    "MemoryImage",
+    "MSHRFile",
+    "Segment",
+]

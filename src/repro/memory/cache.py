@@ -1,0 +1,84 @@
+"""A set-associative cache level with timed fills and true LRU."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from ..config import CacheConfig
+
+
+class Cache:
+    """One cache level.
+
+    Lines are stored per set in an :class:`OrderedDict` (insertion order =
+    recency order). Each line carries the cycle at which its fill
+    completes: a probe earlier than the fill cycle misses, which is what
+    makes prefetch timeliness observable (paper Figure 11).
+    """
+
+    def __init__(self, name: str, config: CacheConfig) -> None:
+        self.name = name
+        self.config = config
+        self.num_sets = config.num_sets
+        self.assoc = config.assoc
+        self.latency = config.latency
+        self._sets: Dict[int, OrderedDict] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_for(self, line: int) -> OrderedDict:
+        index = line % self.num_sets
+        bucket = self._sets.get(index)
+        if bucket is None:
+            bucket = OrderedDict()
+            self._sets[index] = bucket
+        return bucket
+
+    def probe(self, line: int, cycle: int, update_lru: bool = True) -> bool:
+        """True if the line is present and filled by ``cycle``."""
+        bucket = self._set_for(line)
+        fill_cycle = bucket.get(line)
+        if fill_cycle is None or fill_cycle > cycle:
+            self.misses += 1
+            return False
+        if update_lru:
+            bucket.move_to_end(line)
+        self.hits += 1
+        return True
+
+    def contains(self, line: int, cycle: int) -> bool:
+        """Stats-neutral presence check (used for classification only)."""
+        fill_cycle = self._set_for(line).get(line)
+        return fill_cycle is not None and fill_cycle <= cycle
+
+    def fill(self, line: int, fill_cycle: int) -> Optional[int]:
+        """Insert a line (fill completes at ``fill_cycle``).
+
+        Returns the evicted line address, if any.
+        """
+        bucket = self._set_for(line)
+        if line in bucket:
+            # Refill/upgrade: keep the earlier availability time.
+            bucket[line] = min(bucket[line], fill_cycle)
+            bucket.move_to_end(line)
+            return None
+        victim = None
+        if len(bucket) >= self.assoc:
+            victim, _ = bucket.popitem(last=False)
+            self.evictions += 1
+        bucket[line] = fill_cycle
+        return victim
+
+    def invalidate(self, line: int) -> None:
+        bucket = self._set_for(line)
+        bucket.pop(line, None)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0

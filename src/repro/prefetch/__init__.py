@@ -1,0 +1,14 @@
+"""Prefetching techniques that are not runahead-based, plus the base hooks."""
+
+from .base import NullTechnique, Technique
+from .imp import IndirectMemoryPrefetcher
+from .oracle import OracleTechnique
+from .stride import StridePrefetcher
+
+__all__ = [
+    "IndirectMemoryPrefetcher",
+    "NullTechnique",
+    "OracleTechnique",
+    "StridePrefetcher",
+    "Technique",
+]

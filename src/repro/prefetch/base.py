@@ -1,0 +1,69 @@
+"""The hook interface every technique (prefetcher or runahead) implements.
+
+The timing core drives techniques through these callbacks:
+
+* :meth:`on_commit` — every retired instruction, in order, with its
+  commit cycle. DVR's stride detector and Discovery Mode live here.
+* :meth:`on_demand_load` — every demand load with its service level
+  (used by table-based prefetchers such as the stride prefetcher / IMP).
+* :meth:`on_full_rob_stall` — a dispatch stall caused by a full ROB whose
+  head is a cache-missing load; the trigger condition for classic
+  runahead, PRE and Vector Runahead.
+* :meth:`advance_to` — lets a decoupled engine (DVR subthread) make
+  progress up to the given cycle; called before each demand access.
+* :attr:`commit_blocked_until` — Vector Runahead's delayed termination:
+  the core may not commit past this cycle while runahead completes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.dyninstr import DynInstr
+    from ..core.ooo import OoOCore
+    from ..memory.hierarchy import AccessResult
+
+
+class Technique:
+    """Base class: a no-op technique (the plain OoO baseline)."""
+
+    name = "base"
+    #: True when the memory hierarchy should run in ideal (oracle) mode.
+    wants_ideal_memory = False
+
+    def __init__(self) -> None:
+        self.core: Optional["OoOCore"] = None
+        self.commit_blocked_until = 0
+        #: Classic runahead's exit flush: fetch may not resume before this.
+        self.fetch_blocked_until = 0
+
+    def attach(self, core: "OoOCore") -> None:
+        """Called once by the core before simulation starts."""
+        self.core = core
+
+    # -- hooks (default: do nothing) ----------------------------------------
+
+    def on_commit(self, dyn: "DynInstr", cycle: int, complete: int = 0) -> None:
+        pass
+
+    def on_demand_load(self, dyn: "DynInstr", cycle: int, result: "AccessResult") -> None:
+        pass
+
+    def on_full_rob_stall(self, start: int, end: int, head: "DynInstr") -> None:
+        pass
+
+    def advance_to(self, cycle: int) -> None:
+        pass
+
+    def finalize(self, cycle: int) -> None:
+        pass
+
+    def stats(self) -> Dict[str, float]:
+        return {}
+
+
+class NullTechnique(Technique):
+    """The out-of-order baseline: no runahead, no extra prefetching."""
+
+    name = "ooo"

@@ -1,0 +1,17 @@
+"""The Oracle comparison point.
+
+Paper Section 6: "a hypothetical technique that knows all memory
+accesses in advance, and prefetches them at the appropriate point in
+time to avoid stalling". We model it as ideal memory for demand loads:
+every load is serviced at L1 latency. It is an upper bound, not a real
+mechanism.
+"""
+
+from __future__ import annotations
+
+from .base import Technique
+
+
+class OracleTechnique(Technique):
+    name = "oracle"
+    wants_ideal_memory = True

@@ -1,0 +1,72 @@
+"""L1-D stride prefetcher (Reference Prediction Table style).
+
+Always enabled in the paper's baseline ("A hardware stride prefetcher is
+always enabled at the L1-D cache level", Table 1: 16 streams). Detects
+per-PC constant-stride load streams and prefetches ``degree`` lines
+ahead. It cannot follow indirection — the gap the runahead family fills.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..memory.hierarchy import MemoryHierarchy
+
+
+class _StreamEntry:
+    __slots__ = ("last_addr", "stride", "confidence")
+
+    def __init__(self, last_addr: int) -> None:
+        self.last_addr = last_addr
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetcher:
+    """Per-PC stride detection with a small, LRU-managed stream table."""
+
+    def __init__(self, streams: int = 16, degree: int = 2, confidence: int = 2) -> None:
+        self.streams = streams
+        self.degree = degree
+        self.confidence_threshold = confidence
+        self._table: "OrderedDict[int, _StreamEntry]" = OrderedDict()
+        self.issued = 0
+
+    def observe(self, pc: int, addr: int) -> bool:
+        """Update the table; True when the stream is confidently striding."""
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.streams:
+                self._table.popitem(last=False)
+            self._table[pc] = _StreamEntry(addr)
+            return False
+        self._table.move_to_end(pc)
+        stride = addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(3, entry.confidence + 1)
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_addr = addr
+        return entry.confidence >= self.confidence_threshold and entry.stride != 0
+
+    def stride_of(self, pc: int) -> int:
+        entry = self._table.get(pc)
+        return entry.stride if entry else 0
+
+    def on_demand_load(
+        self, pc: int, addr: int, cycle: int, hierarchy: "MemoryHierarchy"
+    ) -> None:
+        if not self.observe(pc, addr):
+            return
+        stride = self._table[pc].stride
+        for k in range(1, self.degree + 1):
+            target = addr + stride * k
+            if target < 0:
+                break
+            if not hierarchy.mshr_available(cycle):
+                break
+            hierarchy.access(target, cycle, source="prefetcher", prefetch=True)
+            self.issued += 1

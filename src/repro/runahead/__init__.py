@@ -1,0 +1,39 @@
+"""The runahead technique family.
+
+* :class:`ClassicRunahead` — Mutlu et al. HPCA 2003 style work-skipping
+  runahead (full-ROB triggered, pipeline flush on exit).
+* :class:`PreciseRunahead` — PRE (Naithani et al., HPCA 2020): filtered
+  slice execution, no flush, short intervals.
+* :class:`VectorRunahead` — VR (ISCA 2021): speculative vectorisation of
+  indirect chains on a full-ROB stall, delayed termination.
+* :class:`DecoupledVectorRunahead` — DVR (MICRO 2023): the decoupled
+  in-order vector subthread with Discovery / Nested Discovery modes.
+"""
+
+from .classic import ClassicRunahead
+from .continuous import ContinuousRunahead
+from .dvr import DecoupledVectorRunahead
+from .hardware_cost import hardware_cost_bytes, hardware_cost_report
+from .loop_bounds import LoopBoundDetector, LoopBoundInference
+from .pre import PreciseRunahead
+from .reconvergence import ReconvergenceStack
+from .shadow import ShadowState
+from .stride_detector import StrideDetector
+from .taint import VectorTaintTracker
+from .vr import VectorRunahead
+
+__all__ = [
+    "ClassicRunahead",
+    "ContinuousRunahead",
+    "DecoupledVectorRunahead",
+    "hardware_cost_bytes",
+    "hardware_cost_report",
+    "LoopBoundDetector",
+    "LoopBoundInference",
+    "PreciseRunahead",
+    "ReconvergenceStack",
+    "ShadowState",
+    "StrideDetector",
+    "VectorRunahead",
+    "VectorTaintTracker",
+]

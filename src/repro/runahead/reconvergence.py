@@ -1,0 +1,50 @@
+"""GPU-style reconvergence stack (paper Section 4.2.3, Figure 6).
+
+When the vector lanes of the DVR subthread disagree on a branch
+outcome, execution follows the first lane's group while the other
+group's target PC and lane mask are pushed here. When the running group
+reaches the termination point, the stack head is popped and execution
+resumes with that PC and mask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class ReconvergenceEntry:
+    pc: int
+    lanes: Tuple[int, ...]  # active lane indices (the "mask")
+
+
+class ReconvergenceStack:
+    """A bounded stack of (PC, lane-mask) entries (8 deep in the paper)."""
+
+    def __init__(self, depth: int = 8) -> None:
+        self.depth = depth
+        self._entries: List[ReconvergenceEntry] = []
+        self.overflows = 0
+        self.max_depth_seen = 0
+
+    def push(self, pc: int, lanes: Tuple[int, ...]) -> bool:
+        """Push a diverged group; False (group dropped) when full."""
+        if len(self._entries) >= self.depth:
+            # Hardware would mask these lanes off permanently.
+            self.overflows += 1
+            return False
+        self._entries.append(ReconvergenceEntry(pc, lanes))
+        self.max_depth_seen = max(self.max_depth_seen, len(self._entries))
+        return True
+
+    def pop(self) -> Optional[ReconvergenceEntry]:
+        if not self._entries:
+            return None
+        return self._entries.pop()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)

@@ -1,0 +1,86 @@
+"""The Reference-Prediction-Table stride detector (paper Section 4.1).
+
+A 32-entry table tracking, per load PC: the previous address, the
+stride, a 2-bit saturating confidence counter, and the innermost bit
+used during Discovery Mode (460 bytes of state in the paper's
+accounting). Shared by VR (to find vectorisation triggers) and DVR
+(to trigger Discovery Mode).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class StrideEntry:
+    __slots__ = ("pc", "last_addr", "stride", "confidence", "innermost_bit")
+
+    def __init__(self, pc: int, addr: int) -> None:
+        self.pc = pc
+        self.last_addr = addr
+        self.stride = 0
+        self.confidence = 0
+        self.innermost_bit = False
+
+    def is_confident(self, threshold: int) -> bool:
+        return self.stride != 0 and self.confidence >= threshold
+
+
+class StrideDetector:
+    """LRU-managed RPT keyed by load PC."""
+
+    def __init__(self, entries: int = 32, confidence_threshold: int = 2) -> None:
+        self.capacity = entries
+        self.confidence_threshold = confidence_threshold
+        self._table: "OrderedDict[int, StrideEntry]" = OrderedDict()
+
+    def observe(self, pc: int, addr: int) -> StrideEntry:
+        """Train on a retired load; returns the (updated) entry."""
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.capacity:
+                self._table.popitem(last=False)
+            entry = StrideEntry(pc, addr)
+            self._table[pc] = entry
+            return entry
+        self._table.move_to_end(pc)
+        stride = addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(3, entry.confidence + 1)
+        elif stride == 0:
+            # Same address twice (e.g. re-load in an inner loop): keep
+            # stride knowledge but lose a little confidence.
+            entry.confidence = max(0, entry.confidence - 1)
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_addr = addr
+        return entry
+
+    def lookup(self, pc: int) -> Optional[StrideEntry]:
+        return self._table.get(pc)
+
+    def is_striding(self, pc: int) -> bool:
+        entry = self._table.get(pc)
+        return entry is not None and entry.is_confident(self.confidence_threshold)
+
+    def stride_of(self, pc: int) -> int:
+        entry = self._table.get(pc)
+        return entry.stride if entry else 0
+
+    def clear_innermost_bits(self) -> None:
+        """Reset the per-entry Discovery-Mode register (Section 4.1.1)."""
+        for entry in self._table.values():
+            entry.innermost_bit = False
+
+    def confident_strides(self) -> dict:
+        """Snapshot {pc: stride} of all currently confident entries."""
+        return {
+            pc: entry.stride
+            for pc, entry in self._table.items()
+            if entry.is_confident(self.confidence_threshold)
+        }
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,55 @@
+"""Vector Taint Tracker (VTT), paper Section 4.1.2.
+
+One bit per architectural integer register. The destination of the
+initiating striding load is tainted; taint propagates through any
+instruction with a tainted source; an instruction whose sources are all
+clean *clears* the taint of its destination. Tainted instructions are
+the ones the vector subthread will later vectorise.
+"""
+
+from __future__ import annotations
+
+from ..isa.instructions import NUM_REGS, Instruction
+
+
+class VectorTaintTracker:
+    def __init__(self) -> None:
+        self._bits = [False] * NUM_REGS
+
+    def reset(self, seed_reg: int) -> None:
+        """Clear all bits, then taint the striding load's destination."""
+        for i in range(NUM_REGS):
+            self._bits[i] = False
+        self._bits[seed_reg] = True
+
+    def is_tainted(self, reg: int) -> bool:
+        return self._bits[reg]
+
+    def any_source_tainted(self, instr: Instruction) -> bool:
+        for src in instr.sources():
+            if self._bits[src]:
+                return True
+        return False
+
+    def propagate(self, instr: Instruction) -> bool:
+        """Apply the paper's taint rule for one instruction.
+
+        Returns True when the instruction is tainted (to be vectorised).
+        Loads taint their destination when their *address* source is
+        tainted; value-producing semantics are identical for other ops.
+        """
+        tainted = self.any_source_tainted(instr)
+        rd = instr.rd
+        if rd is not None:
+            if tainted:
+                self._bits[rd] = True
+            elif self._bits[rd]:
+                # Overwritten by a clean value: taint is reset.
+                self._bits[rd] = False
+        return tainted
+
+    def taint(self, reg: int) -> None:
+        self._bits[reg] = True
+
+    def as_tuple(self) -> tuple:
+        return tuple(self._bits)

@@ -1,0 +1,510 @@
+"""The timed vector-chain executor (the Vector Issue Register model).
+
+This module models what the paper's Vectorizer + VIR + VRAT pipeline
+does to one invocation of a speculatively vectorised indirect chain:
+
+* The initiating striding load is replaced by ``lanes`` scalar-equivalent
+  copies whose addresses are seeded from the detected stride.
+* Every subsequent instruction executes once (scalar) if no source is
+  vectorised, or as ``ceil(lanes / vector_width)`` vector copies (16
+  AVX-512 copies for 128 lanes in the paper) if any source is vectorised
+  — the VRAT distinction between scalar and vector physical registers.
+* Vectorised loads behave like gathers: each lane becomes an individual
+  L1-D access that allocates its own MSHR, giving the massive MLP of
+  Figure 9. A copy cannot issue before the lane values it depends on
+  have returned, so each level of indirection costs one memory round
+  trip — overlapped across all lanes.
+* Branch divergence either masks lanes off against the first lane's
+  control flow (Vector Runahead) or pushes the diverged group onto a
+  GPU-style reconvergence stack (DVR, Section 4.2.3).
+
+The executor is a generator so a decoupled engine can advance it
+incrementally against the main thread's clock (``advance_to``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..isa.instructions import NUM_REGS, Opcode
+from ..isa.program import Program
+from ..isa.semantics import alu_evaluate
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.memory_image import MemoryImage
+from .reconvergence import ReconvergenceStack
+
+_SCALAR = 0
+_VECTOR = 1
+
+# Vector-copy execute latencies (cycles) by opcode class.
+_LAT_MUL = 3
+_LAT_DIV = 18
+
+
+def _op_latency(op: Opcode) -> int:
+    if op in (Opcode.MUL, Opcode.HASH):
+        return _LAT_MUL
+    if op is Opcode.DIV:
+        return _LAT_DIV
+    return 1
+
+
+class _Group:
+    """One set of lanes following a common control-flow path."""
+
+    __slots__ = ("pc", "lanes", "steps")
+
+    def __init__(self, pc: int, lanes: Tuple[int, ...]) -> None:
+        self.pc = pc
+        self.lanes = lanes
+        self.steps = 0
+
+
+class VectorChainRun:
+    """One vectorised invocation: from the striding load to termination."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: MemoryImage,
+        hierarchy: MemoryHierarchy,
+        scalar_regs: Sequence,
+        start_pc: int,
+        lane_addresses: Sequence[int],
+        start_cycle: int,
+        end_pc: Optional[int] = None,
+        execute_end_pc: bool = True,
+        stop_pcs: Sequence[int] = (),
+        vector_width: int = 8,
+        timeout: int = 200,
+        reconvergence: Optional[ReconvergenceStack] = None,
+        capture_end_states: bool = False,
+        source: str = "runahead",
+        stride_map: Optional[Dict[int, int]] = None,
+        max_scalar_run: Optional[int] = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.start_pc = start_pc
+        self.end_pc = end_pc
+        self.execute_end_pc = execute_end_pc
+        self.stop_pcs = frozenset(stop_pcs)
+        self.vector_width = max(1, vector_width)
+        self.timeout = timeout
+        self.reconvergence = reconvergence
+        self.capture_end_states = capture_end_states
+        self.source = source
+        # Other confident striding loads in the chain (e.g. a weights or
+        # values array walked in lockstep with the trigger) are vectorised
+        # by their own stride — paper Section 4.1.1: "We can vectorize
+        # multiple strides in the same loop".
+        self.stride_map = dict(stride_map or {})
+        # Without a Final-Load Register (plain VR), the chain is deemed
+        # exhausted after this many consecutive non-vector instructions.
+        self.max_scalar_run = max_scalar_run
+        self.lanes = len(lane_addresses)
+        self.lane_addresses = list(lane_addresses)
+        self.time = start_cycle
+        self.finished = self.lanes == 0
+        self.finish_time = start_cycle
+        # Stats
+        self.prefetches = 0
+        self.copies_issued = 0
+        self.lanes_invalidated = 0
+        self.instructions = 0
+        # Per-lane register state captured at end_pc (for Nested mode).
+        self.end_states: Dict[int, List] = {}
+
+        # Register file: kind + scalar value/ready + per-lane value/ready.
+        self._kind = [_SCALAR] * NUM_REGS
+        self._sval: List = list(scalar_regs)
+        self._sready = [start_cycle] * NUM_REGS
+        self._vval: List[Optional[List]] = [None] * NUM_REGS
+        self._vready: List[Optional[List[int]]] = [None] * NUM_REGS
+        self._gen: Optional[Iterator[int]] = None
+
+    # -- public driving ---------------------------------------------------------
+
+    def advance_to(self, cycle: int) -> None:
+        """Run until the internal clock passes ``cycle`` (or completion)."""
+        if self.finished:
+            return
+        if self._gen is None:
+            self._gen = self._run()
+        while not self.finished and self.time <= cycle:
+            try:
+                next(self._gen)
+            except StopIteration:
+                break
+
+    def run_to_completion(self) -> None:
+        self.advance_to(1 << 62)
+
+    # -- register helpers --------------------------------------------------------
+
+    def _lane_value(self, reg: int, lane: int):
+        if self._kind[reg] == _SCALAR:
+            return self._sval[reg]
+        return self._vval[reg][lane]
+
+    def _lane_ready(self, reg: int, lane: int) -> int:
+        if self._kind[reg] == _SCALAR:
+            return self._sready[reg]
+        return self._vready[reg][lane]
+
+    def _write_scalar(self, reg: int, value, ready: int) -> None:
+        self._kind[reg] = _SCALAR
+        self._sval[reg] = value
+        self._sready[reg] = ready
+
+    def _ensure_vector(self, reg: int) -> None:
+        """Promote a scalar register to vector form (fresh VRAT mapping)."""
+        if self._kind[reg] == _VECTOR:
+            return
+        self._kind[reg] = _VECTOR
+        self._vval[reg] = [self._sval[reg]] * self.lanes
+        self._vready[reg] = [self._sready[reg]] * self.lanes
+
+    # -- the executor ------------------------------------------------------------
+
+    def _lane_chunks(self, lanes: Tuple[int, ...]):
+        for i in range(0, len(lanes), self.vector_width):
+            yield lanes[i : i + self.vector_width]
+
+    def _issue_gather(
+        self, lanes: Tuple[int, ...], rd: int, addr_of, first_visit: bool
+    ) -> None:
+        """Issue one vectorised load: per-lane scalar accesses + MSHRs."""
+        self._ensure_vector(rd)
+        vval = self._vval[rd]
+        vready = self._vready[rd]
+        hierarchy = self.hierarchy
+        memory = self.memory
+        for chunk in self._lane_chunks(lanes):
+            issue = self.time
+            for lane in chunk:
+                ready = addr_of(lane)[1]
+                if ready > issue:
+                    issue = ready
+            self.time = issue + 1
+            self.copies_issued += 1
+            for lane in chunk:
+                addr, _ = addr_of(lane)
+                if addr is None or not isinstance(addr, int) or addr < 0:
+                    vval[lane] = None
+                    vready[lane] = issue
+                    self.lanes_invalidated += 1
+                    continue
+                value, mapped = memory.read_word_speculative(addr)
+                if not mapped:
+                    vval[lane] = None
+                    vready[lane] = issue
+                    self.lanes_invalidated += 1
+                    continue
+                t = issue
+                if hierarchy.load_needs_mshr(addr, t) and not hierarchy.mshr_available(t):
+                    t = max(t, hierarchy.mshr_next_free(t))
+                result = hierarchy.access(addr, t, source=self.source, prefetch=True)
+                self.prefetches += 1
+                vval[lane] = value
+                vready[lane] = result.ready
+
+    def _run(self) -> Iterator[int]:
+        group = _Group(self.start_pc, tuple(range(self.lanes)))
+        stack = self.reconvergence
+        scalar_run = 0
+        # The seeded striding load itself (vectorised via the stride).
+        seeded = {lane: self.lane_addresses[lane] for lane in group.lanes}
+        first = True
+        global_budget = self.timeout * 16
+
+        while True:
+            if group is None or not group.lanes:
+                popped = stack.pop() if stack else None
+                if popped is None:
+                    break
+                group = _Group(popped.pc, popped.lanes)
+                continue
+            pc = group.pc
+            terminate = False
+            if not 0 <= pc < len(self.program):
+                terminate = True
+            elif not first and pc in self.stop_pcs:
+                terminate = True
+            elif group.steps >= self.timeout or global_budget <= 0:
+                terminate = True
+            elif self.max_scalar_run is not None and scalar_run > self.max_scalar_run:
+                terminate = True
+            if not terminate and self.end_pc is not None and pc == self.end_pc and not first:
+                if self.execute_end_pc:
+                    instr = self.program[pc]
+                    if instr.is_load:
+                        self._execute_vector_load(group, instr)
+                        self.instructions += 1
+                        yield self.time
+                else:
+                    self._capture(group)
+                terminate = True
+            if terminate:
+                self._capture_if_needed(group)
+                group = None
+                continue
+
+            instr = self.program[pc]
+            op = instr.opcode
+            group.steps += 1
+            global_budget -= 1
+            self.instructions += 1
+
+            if first:
+                # Execute the seeded striding load across all lanes. The
+                # address register is vectorised too (VRAT seeding), so
+                # offset loads from the same base (e.g. row[u+1]) compute
+                # per-lane addresses.
+                base_ready = self.time
+                self._issue_gather(
+                    group.lanes,
+                    instr.rd,
+                    lambda lane: (seeded[lane], base_ready),
+                    first_visit=True,
+                )
+                if instr.rs1 is not None and instr.rs1 != instr.rd:
+                    self._ensure_vector(instr.rs1)
+                    vv = self._vval[instr.rs1]
+                    vr = self._vready[instr.rs1]
+                    for lane in group.lanes:
+                        vv[lane] = seeded[lane] - instr.imm
+                        vr[lane] = base_ready
+                group.pc = pc + 1
+                first = False
+                yield self.time
+                continue
+
+            if op is Opcode.HALT:
+                self._capture_if_needed(group)
+                group = None
+                continue
+            if op is Opcode.STORE or op is Opcode.PREFETCH:
+                # Transient execution: stores are dropped, and software
+                # prefetch hints are redundant inside the subthread.
+                group.pc = pc + 1
+                continue
+            if op is Opcode.JMP:
+                group.pc = instr.target
+                continue
+
+            vectorised = any(
+                self._kind[src] == _VECTOR for src in instr.sources()
+            )
+            if vectorised or pc in self.stride_map:
+                scalar_run = 0
+            else:
+                scalar_run += 1
+
+            if op in (Opcode.BNZ, Opcode.BEZ):
+                group = self._execute_branch(group, instr, vectorised)
+                yield self.time
+                continue
+
+            if op is Opcode.LOAD:
+                if vectorised:
+                    self._execute_vector_load(group, instr)
+                elif pc in self.stride_map:
+                    self._execute_secondary_stride_load(group, instr, pc)
+                else:
+                    self._execute_scalar_load(instr)
+                group.pc = pc + 1
+                yield self.time
+                continue
+
+            # ALU-class instruction.
+            if vectorised:
+                self._execute_vector_alu(group, instr)
+            else:
+                self._execute_scalar_alu(instr)
+            group.pc = pc + 1
+            yield self.time
+
+        self.finished = True
+        self.finish_time = self.time
+
+    # -- per-class execution -----------------------------------------------------
+
+    def _execute_scalar_alu(self, instr) -> None:
+        a = self._sval[instr.rs1] if instr.rs1 is not None else None
+        b = self._sval[instr.rs2] if instr.rs2 is not None else None
+        ready = self.time
+        for src in instr.sources():
+            ready = max(ready, self._sready[src])
+        if (instr.rs1 is not None and a is None) or (instr.rs2 is not None and b is None):
+            value = None
+        else:
+            try:
+                value = alu_evaluate(instr.opcode, a, b, instr.imm)
+            except (TypeError, ValueError, OverflowError):
+                value = None
+        issue = max(self.time, ready)
+        self.time = issue + 1
+        self.copies_issued += 1
+        self._write_scalar(instr.rd, value, issue + _op_latency(instr.opcode))
+
+    def _execute_scalar_load(self, instr) -> None:
+        base = self._sval[instr.rs1]
+        ready = max(self.time, self._sready[instr.rs1])
+        issue = ready
+        self.time = issue + 1
+        self.copies_issued += 1
+        if base is None or not isinstance(base, int):
+            self._write_scalar(instr.rd, None, issue)
+            return
+        addr = base + instr.imm
+        value, mapped = self.memory.read_word_speculative(addr)
+        if not mapped:
+            self._write_scalar(instr.rd, None, issue)
+            return
+        t = issue
+        hierarchy = self.hierarchy
+        if hierarchy.load_needs_mshr(addr, t) and not hierarchy.mshr_available(t):
+            t = max(t, hierarchy.mshr_next_free(t))
+        result = hierarchy.access(addr, t, source=self.source, prefetch=True)
+        self.prefetches += 1
+        self._write_scalar(instr.rd, value, result.ready)
+
+    def _execute_secondary_stride_load(self, group: _Group, instr, pc: int) -> None:
+        """A non-tainted load that the RPT knows strides: vectorise it by
+        its own stride from the current scalar address (lane l covers
+        iteration l+1 into the future, matching the trigger's seeding)."""
+        base = self._sval[instr.rs1]
+        ready = max(self.time, self._sready[instr.rs1])
+        if base is None or not isinstance(base, int):
+            self._write_scalar(instr.rd, None, ready)
+            self.time = ready + 1
+            return
+        stride = self.stride_map[pc]
+        addr0 = base + instr.imm
+
+        def addr_of(lane: int):
+            return addr0 + stride * (lane + 1), ready
+
+        self._issue_gather(group.lanes, instr.rd, addr_of, first_visit=False)
+
+    def _execute_vector_alu(self, group: _Group, instr) -> None:
+        self._ensure_vector(instr.rd)
+        vval = self._vval[instr.rd]
+        vready = self._vready[instr.rd]
+        for chunk in self._lane_chunks(group.lanes):
+            issue = self.time
+            for lane in chunk:
+                for src in instr.sources():
+                    r = self._lane_ready(src, lane)
+                    if r > issue:
+                        issue = r
+            self.time = issue + 1
+            self.copies_issued += 1
+            done = issue + _op_latency(instr.opcode)
+            for lane in chunk:
+                a = self._lane_value(instr.rs1, lane) if instr.rs1 is not None else None
+                b = self._lane_value(instr.rs2, lane) if instr.rs2 is not None else None
+                if (instr.rs1 is not None and a is None) or (
+                    instr.rs2 is not None and b is None
+                ):
+                    vval[lane] = None
+                else:
+                    try:
+                        vval[lane] = alu_evaluate(instr.opcode, a, b, instr.imm)
+                    except (TypeError, ValueError, OverflowError):
+                        vval[lane] = None
+                vready[lane] = done
+
+    def _execute_vector_load(self, group: _Group, instr) -> None:
+        rs1 = instr.rs1
+        imm = instr.imm
+
+        def addr_of(lane: int):
+            base = self._lane_value(rs1, lane)
+            if base is None or not isinstance(base, int):
+                return None, self._lane_ready(rs1, lane)
+            return base + imm, self._lane_ready(rs1, lane)
+
+        self._issue_gather(group.lanes, instr.rd, addr_of, first_visit=False)
+
+    def _execute_branch(self, group: _Group, instr, vectorised: bool) -> Optional[_Group]:
+        pc = group.pc
+        taken_target = instr.target
+        if not vectorised:
+            cond = self._sval[instr.rs1]
+            issue = max(self.time, self._sready[instr.rs1])
+            self.time = issue + 1
+            self.copies_issued += 1
+            if cond is None:
+                # Lost track of scalar control flow: terminate the group.
+                self._capture_if_needed(group)
+                return None
+            taken = (cond != 0) if instr.opcode is Opcode.BNZ else (cond == 0)
+            group.pc = taken_target if taken else pc + 1
+            return group
+        # Vector condition: evaluate per lane.
+        taken_lanes: List[int] = []
+        fall_lanes: List[int] = []
+        for chunk in self._lane_chunks(group.lanes):
+            issue = self.time
+            for lane in chunk:
+                r = self._lane_ready(instr.rs1, lane)
+                if r > issue:
+                    issue = r
+            self.time = issue + 1
+            self.copies_issued += 1
+            for lane in chunk:
+                cond = self._lane_value(instr.rs1, lane)
+                if cond is None:
+                    self.lanes_invalidated += 1
+                    continue
+                taken = (cond != 0) if instr.opcode is Opcode.BNZ else (cond == 0)
+                (taken_lanes if taken else fall_lanes).append(lane)
+        if not taken_lanes and not fall_lanes:
+            self._capture_if_needed(group)
+            return None
+        if not taken_lanes:
+            group.lanes = tuple(fall_lanes)
+            group.pc = pc + 1
+            return group
+        if not fall_lanes:
+            group.lanes = tuple(taken_lanes)
+            group.pc = taken_target
+            return group
+        # Divergence.
+        first_lane = group.lanes[0]
+        if first_lane in taken_lanes:
+            lead_lanes, lead_pc = taken_lanes, taken_target
+            other_lanes, other_pc = fall_lanes, pc + 1
+        else:
+            lead_lanes, lead_pc = fall_lanes, pc + 1
+            other_lanes, other_pc = taken_lanes, taken_target
+        if self.reconvergence is not None:
+            if not self.reconvergence.push(other_pc, tuple(other_lanes)):
+                self.lanes_invalidated += len(other_lanes)
+        else:
+            # VR semantics: lanes that diverge from the first scalar-
+            # equivalent lane are invalidated.
+            self.lanes_invalidated += len(other_lanes)
+        group.lanes = tuple(lead_lanes)
+        group.pc = lead_pc
+        return group
+
+    # -- end-state capture (Nested Discovery Mode) --------------------------------
+
+    def _capture(self, group: _Group) -> None:
+        if not self.capture_end_states:
+            return
+        for lane in group.lanes:
+            if lane in self.end_states:
+                continue
+            self.end_states[lane] = [
+                self._lane_value(reg, lane) for reg in range(NUM_REGS)
+            ]
+
+    def _capture_if_needed(self, group: Optional[_Group]) -> None:
+        if group is not None and self.capture_end_states:
+            # Group died away from end_pc: no useful state to capture.
+            pass

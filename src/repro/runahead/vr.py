@@ -1,0 +1,154 @@
+"""Vector Runahead (Naithani et al., ISCA 2021) — paper Section 2.3.
+
+Triggered by a full-ROB stall, VR pre-executes the future stream until
+it meets a confident striding load, then *speculatively vectorises* the
+striding load and its dependent chain across many future loop
+iterations, issuing all the loads of each indirection level as parallel
+gathers. Termination is delayed until the whole chain's memory accesses
+have been generated (which can hold up commit even after the blocking
+load has returned — the cost DVR's decoupling removes).
+
+Faithfully inherited limitations (the paper's motivation, Section 3):
+no loop-bound knowledge (a fixed lane count means over-fetching past
+short inner loops), first-lane control flow with divergent lanes
+invalidated, and no decoupling (no trigger without a full-ROB stall).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..prefetch.base import Technique
+from .interpreter import SpeculativeInterpreter
+from .shadow import ShadowState
+from .stride_detector import StrideDetector
+from .vector_engine import VectorChainRun
+
+# How far VR's runahead front-end looks for a striding load before
+# giving up on vectorisation for this episode.
+_SCAN_BUDGET = 64
+
+
+class VectorRunahead(Technique):
+    name = "vr"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.shadow = ShadowState()
+        self.detector: StrideDetector = None  # built in attach()
+        self.triggers = 0
+        self.vector_episodes = 0
+        self.prefetches = 0
+        self.scalar_prefetches = 0
+        self.lanes_invalidated = 0
+        self.subthread_instructions = 0
+        self.skipped_covered = 0
+        # Furthest prefetched address per vectorised stride PC: VR need
+        # not re-vectorise a window it has already covered.
+        self._coverage = {}
+
+    def attach(self, core) -> None:
+        super().attach(core)
+        runahead_cfg = core.config.runahead
+        self.detector = StrideDetector(
+            entries=runahead_cfg.stride_detector_entries,
+            confidence_threshold=runahead_cfg.stride_confidence,
+        )
+        self.lanes = runahead_cfg.vr_lanes
+        self.vector_width = runahead_cfg.vector_width
+        self.timeout = runahead_cfg.instruction_timeout
+
+    def on_commit(self, dyn, cycle, complete: int = 0) -> None:
+        self.shadow.update(dyn, cycle, complete)
+        if dyn.instr.is_load:
+            self.detector.observe(dyn.pc, dyn.addr)
+
+    def on_full_rob_stall(self, start: int, end: int, head) -> None:
+        if self.commit_blocked_until > start:
+            return  # still finishing the previous vectorised chain
+        self.triggers += 1
+        memory = self.core.memory_image
+        hierarchy = self.core.hierarchy
+        interp = SpeculativeInterpreter(
+            self.core.program,
+            memory,
+            self.shadow.next_pc,
+            self.shadow.snapshot_values(),
+            invalid_regs=self.shadow.invalid_regs_at(start),
+        )
+
+        def load_cb(pc: int, addr: int):
+            value, mapped = memory.read_word_speculative(addr)
+            if not mapped:
+                return 0, False
+            if hierarchy.mshr_available(start):
+                hierarchy.access(addr, start, source="runahead", prefetch=True)
+                self.scalar_prefetches += 1
+            return value, True
+
+        stride_pc = None
+        stride_addr = None
+        for _ in range(_SCAN_BUDGET):
+            pc = interp.pc
+            if (
+                self.core.program[pc].is_load
+                if 0 <= pc < len(self.core.program)
+                else False
+            ) and self.detector.is_striding(pc):
+                stride_pc = pc
+                base = interp.regs[self.core.program[pc].rs1]
+                if isinstance(base, int) and interp.valid[self.core.program[pc].rs1]:
+                    stride_addr = base + self.core.program[pc].imm
+                break
+            if interp.step(load_cb) is None:
+                break
+        if stride_pc is None or stride_addr is None:
+            return
+
+        stride = self.detector.stride_of(stride_pc)
+        covered = self._coverage.get(stride_pc)
+        if covered is not None and stride and (covered - stride_addr) // stride > self.lanes // 2:
+            self.skipped_covered += 1
+            return
+        lane_addresses = [stride_addr + stride * (l + 1) for l in range(self.lanes)]
+        self._coverage[stride_pc] = lane_addresses[-1]
+        run = VectorChainRun(
+            program=self.core.program,
+            memory=memory,
+            hierarchy=hierarchy,
+            scalar_regs=interp.regs,
+            start_pc=stride_pc,
+            lane_addresses=lane_addresses,
+            start_cycle=start,
+            end_pc=None,
+            stop_pcs=(stride_pc,),
+            vector_width=self.vector_width,
+            timeout=self.timeout,
+            reconvergence=None,  # VR invalidates diverged lanes
+            source="runahead",
+            stride_map={
+                pc: st
+                for pc, st in self.detector.confident_strides().items()
+                if pc != stride_pc
+            },
+            max_scalar_run=16,
+        )
+        run.run_to_completion()
+        self.vector_episodes += 1
+        self.prefetches += run.prefetches
+        self.lanes_invalidated += run.lanes_invalidated
+        self.subthread_instructions += run.instructions
+        # Delayed termination: normal mode resumes only once the entire
+        # indirect chain has generated its accesses.
+        self.commit_blocked_until = max(self.commit_blocked_until, run.finish_time)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "triggers": float(self.triggers),
+            "vector_episodes": float(self.vector_episodes),
+            "vector_prefetches": float(self.prefetches),
+            "scalar_prefetches": float(self.scalar_prefetches),
+            "lanes_invalidated": float(self.lanes_invalidated),
+            "subthread_instructions": float(self.subthread_instructions),
+            "skipped_covered": float(self.skipped_covered),
+        }

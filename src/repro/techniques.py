@@ -1,0 +1,63 @@
+"""Registry of evaluated techniques (paper Section 6's comparison set).
+
+Names map to factories so the experiment harness and CLI can construct a
+fresh technique per run::
+
+    technique = make_technique("dvr")
+
+Available names: ``ooo``, ``runahead``, ``pre``, ``imp``, ``vr``,
+``dvr``, ``oracle``, plus the Figure 8 ablation configurations
+``dvr-offload`` (no Discovery, no Nested) and ``dvr-discovery``
+(Discovery but no Nested), and ``dvr-noreconv`` (divergent lanes are
+invalidated instead of stacked).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .errors import ConfigError
+from .prefetch.base import NullTechnique, Technique
+from .prefetch.imp import IndirectMemoryPrefetcher
+from .prefetch.oracle import OracleTechnique
+from .runahead.classic import ClassicRunahead
+from .runahead.continuous import ContinuousRunahead
+from .runahead.emc import EnhancedMemoryController
+from .runahead.dvr import DecoupledVectorRunahead
+from .runahead.pre import PreciseRunahead
+from .runahead.vr import VectorRunahead
+
+_REGISTRY: Dict[str, Callable[[], Technique]] = {
+    "ooo": NullTechnique,
+    "runahead": ClassicRunahead,
+    "continuous": ContinuousRunahead,
+    "emc": EnhancedMemoryController,
+    "pre": PreciseRunahead,
+    "imp": IndirectMemoryPrefetcher,
+    "vr": VectorRunahead,
+    "dvr": DecoupledVectorRunahead,
+    "oracle": OracleTechnique,
+    "dvr-offload": lambda: DecoupledVectorRunahead(
+        discovery_enabled=False, nested_enabled=False, name="dvr-offload"
+    ),
+    "dvr-discovery": lambda: DecoupledVectorRunahead(
+        nested_enabled=False, name="dvr-discovery"
+    ),
+    "dvr-noreconv": lambda: DecoupledVectorRunahead(
+        reconvergence_enabled=False, name="dvr-noreconv"
+    ),
+}
+
+
+def technique_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def make_technique(name: str) -> Technique:
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown technique {name!r}; choose from {technique_names()}"
+        ) from None
+    return factory()

@@ -1,0 +1,23 @@
+"""The paper's benchmark suite, hand-lowered to the repro ISA.
+
+GAP kernels (bc, bfs, cc, pr, sssp) run over CSR graphs built by the
+generators in :mod:`repro.workloads.graphs`; the hpc-db set (camel,
+graph500, hj2, hj8, kangaroo, nas_cg, nas_is, random_access) builds its
+own synthetic inputs. Use :func:`build_workload` to construct any of
+them by name.
+"""
+
+from .base import Workload
+from .graphs import Graph, GRAPH_PROFILES, make_graph
+from .registry import WORKLOAD_NAMES, GAP_WORKLOADS, HPC_DB_WORKLOADS, build_workload
+
+__all__ = [
+    "GAP_WORKLOADS",
+    "GRAPH_PROFILES",
+    "Graph",
+    "HPC_DB_WORKLOADS",
+    "WORKLOAD_NAMES",
+    "Workload",
+    "build_workload",
+    "make_graph",
+]

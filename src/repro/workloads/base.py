@@ -1,0 +1,29 @@
+"""Common workload container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..isa.program import Program
+from ..memory.memory_image import MemoryImage
+
+
+@dataclass
+class Workload:
+    """A ready-to-simulate benchmark: program + initialised memory.
+
+    ``meta`` carries workload-specific facts used by tests (expected
+    functional results, input sizes, the PCs of interesting loads...).
+    """
+
+    name: str
+    program: Program
+    memory: MemoryImage
+    meta: Dict = field(default_factory=dict)
+
+    def fresh(self) -> "Workload":
+        """Workloads are single-use (memory mutates); rebuild via registry."""
+        from .registry import build_workload
+
+        return build_workload(self.name, **self.meta.get("build_args", {}))

@@ -1,0 +1,290 @@
+"""The hpc-db benchmarks: Camel, HJ2/HJ8, Kangaroo, NAS-CG, NAS-IS,
+RandomAccess (paper Section 5; used extensively by the VR/DVR line of
+work). Each builder returns a :class:`Workload` with program + memory.
+
+All kernels use bottom-tested loops (compare feeding a conditional
+backward branch), which is the shape DVR's loop-bound detector keys on —
+the same shape every compiler emits for counted loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa.program import ProgramBuilder
+from ..memory.memory_image import MemoryImage
+from .base import Workload
+
+# Element counts at the default scale (working set >> scaled 512KB LLC).
+_DEFAULT_N = 1 << 16
+_TINY_N = 1 << 11
+
+
+def _n_for(size: str) -> int:
+    return _TINY_N if size == "tiny" else _DEFAULT_N
+
+
+def _indexed_load(b: ProgramBuilder, dst: str, base: str, idx: str, tmp: str) -> None:
+    """dst = M[base + idx*8] (the canonical indexed-word access)."""
+    b.shli(tmp, idx, 3)
+    b.add(tmp, base, tmp)
+    b.load(dst, tmp)
+
+
+def build_camel(size: str = "default", seed: int = 21) -> Workload:
+    """Figure 1's kernel: ``C[hash(B[hash(A[i])])]++`` — a two-level
+    hash-indirect chain behind a striding load."""
+    n = _n_for(size)
+    mask = n - 1
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    a = mem.allocate("A", rng.integers(0, 1 << 30, n))
+    bseg = mem.allocate("B", rng.integers(0, 1 << 30, n))
+    c = mem.allocate("C", n)
+
+    b = ProgramBuilder("camel")
+    b.li("r1", a.base)
+    b.li("r2", bseg.base)
+    b.li("r3", c.base)
+    b.li("r4", n)  # trip count
+    b.li("r5", 0)  # i
+    b.label("loop")
+    _indexed_load(b, "r7", "r1", "r5", "r6")  # a = A[i]          (stride)
+    b.hash("r8", "r7")
+    b.andi("r8", "r8", mask)
+    _indexed_load(b, "r10", "r2", "r8", "r9")  # b = B[hash(a)]   (indirect 1)
+    b.hash("r11", "r10")
+    b.andi("r11", "r11", mask)
+    b.shli("r12", "r11", 3)
+    b.add("r12", "r3", "r12")
+    b.load("r13", "r12")  # c = C[hash(b)]                        (indirect 2)
+    b.addi("r13", "r13", 1)
+    b.store("r13", "r12")  # C[...]++
+    b.addi("r5", "r5", 1)
+    b.cmp_lt("r14", "r5", "r4")
+    b.bnz("r14", "loop")
+    return Workload(
+        "camel",
+        b.build(),
+        mem,
+        meta={"n": n, "indirection_levels": 2, "build_args": {"size": size, "seed": seed}},
+    )
+
+
+def build_hashjoin(hashes: int, size: str = "default", seed: int = 22) -> Workload:
+    """Hash-join probe with a chain of ``hashes`` dependent lookups
+    (HJ2 / HJ8 in the paper). Every level is a serial hash + load."""
+    n = _n_for(size)
+    mask = n - 1
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    keys = mem.allocate("K", rng.integers(0, 1 << 30, n))
+    table = mem.allocate("HT", rng.integers(0, 1 << 30, n))
+    out = mem.allocate("OUT", 8)
+
+    b = ProgramBuilder(f"hj{hashes}")
+    b.li("r1", keys.base)
+    b.li("r2", table.base)
+    b.li("r3", out.base)
+    b.li("r4", n)
+    b.li("r5", 0)   # i
+    b.li("r15", 0)  # running sum
+    b.label("loop")
+    _indexed_load(b, "r7", "r1", "r5", "r6")  # k = K[i] (stride)
+    for _level in range(hashes):
+        b.hash("r8", "r7")
+        b.andi("r8", "r8", mask)
+        _indexed_load(b, "r7", "r2", "r8", "r9")  # k = HT[hash(k) & mask]
+    b.add("r15", "r15", "r7")
+    b.addi("r5", "r5", 1)
+    b.cmp_lt("r14", "r5", "r4")
+    b.bnz("r14", "loop")
+    b.store("r15", "r3")
+    return Workload(
+        f"hj{hashes}",
+        b.build(),
+        mem,
+        meta={
+            "n": n,
+            "indirection_levels": hashes,
+            "build_args": {"size": size, "seed": seed},
+        },
+    )
+
+
+def build_kangaroo(size: str = "default", seed: int = 23) -> Workload:
+    """Three hops of pointer-style indirection (no hashing): the chain
+    ``D[C[B[A[i]]]]++`` with masked indices."""
+    n = _n_for(size)
+    mask = n - 1
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    a = mem.allocate("A", rng.integers(0, n, n))
+    bseg = mem.allocate("B", rng.integers(0, n, n))
+    c = mem.allocate("C", rng.integers(0, n, n))
+    d = mem.allocate("D", n)
+
+    b = ProgramBuilder("kangaroo")
+    b.li("r1", a.base)
+    b.li("r2", bseg.base)
+    b.li("r3", c.base)
+    b.li("r4", d.base)
+    b.li("r5", n)
+    b.li("r6", 0)  # i
+    b.label("loop")
+    _indexed_load(b, "r8", "r1", "r6", "r7")   # x = A[i] (stride)
+    _indexed_load(b, "r10", "r2", "r8", "r9")  # y = B[x]
+    b.andi("r10", "r10", mask)
+    _indexed_load(b, "r12", "r3", "r10", "r11")  # z = C[y & mask]
+    b.andi("r12", "r12", mask)
+    b.shli("r13", "r12", 3)
+    b.add("r13", "r4", "r13")
+    b.load("r14", "r13")  # D[z & mask]
+    b.addi("r14", "r14", 1)
+    b.store("r14", "r13")
+    b.addi("r6", "r6", 1)
+    b.cmp_lt("r15", "r6", "r5")
+    b.bnz("r15", "loop")
+    return Workload(
+        "kangaroo",
+        b.build(),
+        mem,
+        meta={"n": n, "indirection_levels": 3, "build_args": {"size": size, "seed": seed}},
+    )
+
+
+def build_nas_cg(size: str = "default", seed: int = 24) -> Workload:
+    """The CG sparse matrix-vector inner loop: short uniform rows whose
+    gathers (``x[col[j]]``) are the indirect accesses. The short inner
+    loop makes this a Nested-Vector-Runahead showcase."""
+    rows = (1 << 13) if size != "tiny" else (1 << 9)
+    row_len = 12
+    nnz = rows * row_len
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    row_offsets = mem.allocate("ROW", np.arange(0, nnz + 1, row_len, dtype=np.int64)[: rows + 1])
+    col = mem.allocate("COL", rng.integers(0, rows, nnz))
+    val = mem.allocate("VAL", rng.random(nnz), dtype=np.float64)
+    x = mem.allocate("X", rng.random(rows), dtype=np.float64)
+    y = mem.allocate("Y", rows, dtype=np.float64)
+
+    b = ProgramBuilder("nas_cg")
+    b.li("r1", row_offsets.base)
+    b.li("r2", col.base)
+    b.li("r3", val.base)
+    b.li("r4", x.base)
+    b.li("r5", y.base)
+    b.li("r6", rows)
+    b.li("r7", 0)  # row index r
+    b.label("outer")
+    _indexed_load(b, "r9", "r1", "r7", "r8")  # s = ROW[r]
+    b.load("r10", "r8", 8)                    # e = ROW[r+1]
+    b.li("r11", 0)                            # sum = 0.0
+    b.mov("r12", "r9")                        # j = s
+    b.cmp_lt("r13", "r12", "r10")
+    b.bez("r13", "inner_done")
+    b.label("inner")
+    _indexed_load(b, "r15", "r2", "r12", "r14")  # c = COL[j]   (inner stride)
+    _indexed_load(b, "r17", "r3", "r12", "r16")  # v = VAL[j]
+    _indexed_load(b, "r19", "r4", "r15", "r18")  # xv = X[c]    (indirect)
+    b.fmul("r20", "r17", "r19")
+    b.fadd("r11", "r11", "r20")
+    b.addi("r12", "r12", 1)
+    b.cmp_lt("r13", "r12", "r10")
+    b.bnz("r13", "inner")
+    b.label("inner_done")
+    b.shli("r21", "r7", 3)
+    b.add("r21", "r5", "r21")
+    b.store("r11", "r21")  # Y[r] = sum
+    b.addi("r7", "r7", 1)
+    b.cmp_lt("r22", "r7", "r6")
+    b.bnz("r22", "outer")
+    return Workload(
+        "nas_cg",
+        b.build(),
+        mem,
+        meta={
+            "rows": rows,
+            "row_len": row_len,
+            "indirection_levels": 1,
+            "build_args": {"size": size, "seed": seed},
+        },
+    )
+
+
+def build_nas_is(size: str = "default", seed: int = 25) -> Workload:
+    """Integer-sort bucket counting: ``CNT[K[i]]++`` — the simple linear
+    one-level indirection that IMP handles well (paper Section 6.1)."""
+    n = _n_for(size)
+    buckets = n
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    keys = mem.allocate("K", rng.integers(0, buckets, n))
+    cnt = mem.allocate("CNT", buckets)
+
+    b = ProgramBuilder("nas_is")
+    b.li("r1", keys.base)
+    b.li("r2", cnt.base)
+    b.li("r3", n)
+    b.li("r4", 0)  # i
+    b.label("loop")
+    _indexed_load(b, "r6", "r1", "r4", "r5")  # k = K[i] (stride)
+    b.shli("r7", "r6", 3)
+    b.add("r7", "r2", "r7")
+    b.load("r8", "r7")  # CNT[k]
+    b.addi("r8", "r8", 1)
+    b.store("r8", "r7")
+    b.addi("r4", "r4", 1)
+    b.cmp_lt("r9", "r4", "r3")
+    b.bnz("r9", "loop")
+    return Workload(
+        "nas_is",
+        b.build(),
+        mem,
+        meta={"n": n, "indirection_levels": 1, "build_args": {"size": size, "seed": seed}},
+    )
+
+
+def build_random_access(size: str = "default", seed: int = 26) -> Workload:
+    """HPCC RandomAccess (GUPS): ``T[R[i]] ^= R[i]`` over a large table."""
+    n = _n_for(size)
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    idx = mem.allocate("R", rng.integers(0, n, n))
+    table = mem.allocate("T", rng.integers(0, 1 << 30, n))
+
+    b = ProgramBuilder("random_access")
+    b.li("r1", idx.base)
+    b.li("r2", table.base)
+    b.li("r3", n)
+    b.li("r4", 0)  # i
+    b.label("loop")
+    _indexed_load(b, "r6", "r1", "r4", "r5")  # idx = R[i] (stride)
+    b.shli("r7", "r6", 3)
+    b.add("r7", "r2", "r7")
+    b.load("r8", "r7")  # t = T[idx]
+    b.xor("r8", "r8", "r6")
+    b.store("r8", "r7")
+    b.addi("r4", "r4", 1)
+    b.cmp_lt("r9", "r4", "r3")
+    b.bnz("r9", "loop")
+    return Workload(
+        "random_access",
+        b.build(),
+        mem,
+        meta={"n": n, "indirection_levels": 1, "build_args": {"size": size, "seed": seed}},
+    )
+
+
+def hpc_db_builders() -> Dict[str, object]:
+    return {
+        "camel": build_camel,
+        "hj2": lambda **kw: build_hashjoin(2, **kw),
+        "hj8": lambda **kw: build_hashjoin(8, **kw),
+        "kangaroo": build_kangaroo,
+        "nas_cg": build_nas_cg,
+        "nas_is": build_nas_is,
+        "random_access": build_random_access,
+    }

@@ -1,0 +1,44 @@
+"""Name-based workload construction."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import WorkloadError
+from .base import Workload
+from .gap import gap_builders
+from .hpc_db import hpc_db_builders
+
+GAP_WORKLOADS: List[str] = ["bc", "bfs", "cc", "pr", "sssp"]
+HPC_DB_WORKLOADS: List[str] = [
+    "camel",
+    "graph500",
+    "hj2",
+    "hj8",
+    "kangaroo",
+    "nas_cg",
+    "nas_is",
+    "random_access",
+]
+#: The paper's 13 benchmarks (Section 5).
+WORKLOAD_NAMES: List[str] = GAP_WORKLOADS + HPC_DB_WORKLOADS
+
+_BUILDERS: Dict[str, object] = {}
+_BUILDERS.update(hpc_db_builders())
+_BUILDERS.update(gap_builders())
+
+
+def build_workload(name: str, **kwargs) -> Workload:
+    """Construct a fresh workload (program + initialised memory) by name.
+
+    Graph kernels accept ``input_name`` (one of the Table 2 profiles:
+    KR, LJN, ORK, TW, UR) and every workload accepts ``size`` ("default"
+    or "tiny" for fast tests).
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {sorted(_BUILDERS)}"
+        ) from None
+    return builder(**kwargs)

@@ -1,0 +1,72 @@
+"""CLI argument handling and error paths."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestArgumentValidation:
+    def test_unknown_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["explode"])
+
+    def test_run_requires_workload(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "doom"])
+
+    def test_unknown_technique_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "camel", "--technique", "magic"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "figure99"])
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "bfs", "--input", "REDDIT"])
+
+    def test_sweep_requires_param_and_values(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workload", "camel"])
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table", "table1", "--format", "yaml"])
+
+
+class TestSmallCommands:
+    def test_hwcost(self, capsys):
+        assert main(["hwcost"]) == 0
+        out = capsys.readouterr().out
+        assert "1139" in out
+
+    def test_hwcost_with_overrides(self, capsys):
+        assert main(["hwcost", "--lanes", "256", "--stack-depth", "16",
+                     "--detector-entries", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "stride_detector" in out
+
+    def test_pipeview_with_technique(self, capsys):
+        code = main(
+            ["pipeview", "--workload", "nas_is", "--technique", "dvr",
+             "--rows", "8", "--width", "60"]
+        )
+        assert code == 0
+        assert "cycles" in capsys.readouterr().out
+
+    def test_run_swpf_label(self, capsys):
+        assert main(
+            ["run", "--workload", "kangaroo", "--technique", "swpf", "-n", "1200"]
+        ) == 0
+        assert "swpf" in capsys.readouterr().out
+
+    def test_list_mentions_new_techniques(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in ("continuous", "emc", "dvr-offload"):
+            assert name in out

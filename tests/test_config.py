@@ -1,0 +1,103 @@
+"""Configuration object tests."""
+
+import pytest
+
+from repro.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    RunaheadConfig,
+    SimConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        cfg = CacheConfig(32 * 1024, 8, latency=4)
+        assert cfg.num_sets == 64
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(0, 8, latency=4)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 3, latency=4)
+
+
+class TestCoreConfig:
+    def test_paper_defaults_match_table1(self):
+        cfg = CoreConfig()
+        assert cfg.width == 5
+        assert cfg.rob_size == 350
+        assert cfg.iq_size == 128
+        assert cfg.lq_size == 128
+        assert cfg.sq_size == 72
+        assert cfg.frontend_stages == 15
+        assert cfg.int_div_latency == 18
+        assert cfg.fp_mul_latency == 5
+
+    def test_with_rob_keeps_queues(self):
+        cfg = CoreConfig().with_rob(512)
+        assert cfg.rob_size == 512
+        assert cfg.iq_size == 128
+
+    def test_with_scaled_backend(self):
+        cfg = CoreConfig().with_scaled_backend(700)
+        assert cfg.rob_size == 700
+        assert cfg.iq_size == 256
+        assert cfg.lq_size == 256
+        assert cfg.sq_size == 144
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(width=0)
+
+    def test_rejects_bad_queue(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(iq_size=0)
+
+
+class TestMemoryConfig:
+    def test_paper_sizes(self):
+        cfg = MemoryConfig.paper()
+        assert cfg.l1d.size_bytes == 32 * 1024
+        assert cfg.l2.size_bytes == 256 * 1024
+        assert cfg.l3.size_bytes == 8 * 1024 * 1024
+        assert cfg.l1d_mshrs == 24
+        assert cfg.dram_latency == 200
+
+    def test_scaled_llc_smaller(self):
+        assert MemoryConfig.scaled().l3.size_bytes < MemoryConfig.paper().l3.size_bytes
+
+    def test_scaled_keeps_l1(self):
+        assert MemoryConfig.scaled().l1d.size_bytes == 32 * 1024
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        cfg = SimConfig()
+        assert cfg.stride_prefetcher_enabled
+        assert cfg.runahead.dvr_lanes == 128
+        assert cfg.runahead.vector_width == 8
+        assert cfg.runahead.nested_threshold == 64
+        assert cfg.runahead.instruction_timeout == 200
+
+    def test_with_helpers_are_pure(self):
+        cfg = SimConfig()
+        other = cfg.with_max_instructions(5)
+        assert cfg.max_instructions != 5
+        assert other.max_instructions == 5
+        assert cfg.with_core(CoreConfig(width=4)).core.width == 4
+        assert cfg.with_runahead(RunaheadConfig(dvr_lanes=32)).runahead.dvr_lanes == 32
+
+    def test_paper_and_scaled_constructors(self):
+        assert SimConfig.paper().memory.l3.size_bytes == 8 * 1024 * 1024
+        assert SimConfig.scaled().memory.l3.size_bytes == 512 * 1024
+
+    def test_branch_config_defaults(self):
+        cfg = BranchPredictorConfig()
+        assert cfg.num_tagged_tables == 4
+        assert cfg.min_history < cfg.max_history

@@ -1,0 +1,177 @@
+"""Fine-grained tests of DVR's Discovery Mode state machine, driven by
+hand-built kernels where the expected analysis results are known."""
+
+import numpy as np
+import pytest
+
+from repro.core import OoOCore
+from repro.isa import ProgramBuilder
+from repro.memory import MemoryImage
+from repro.techniques import make_technique
+
+from conftest import build_nested_loop_kernel, quick_config
+
+
+def run_dvr(program, mem, max_instructions=6000, technique_name="dvr"):
+    technique = make_technique(technique_name)
+    core = OoOCore(
+        program, mem, quick_config(max_instructions), technique=technique
+    )
+    result = core.run()
+    return technique, result
+
+
+def simple_chain_kernel(n=2048, seed=1):
+    """i-loop over A (striding), one dependent load B[A[i]] (the FLR)."""
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    a = mem.allocate("A", rng.integers(0, n, n))
+    bseg = mem.allocate("B", rng.integers(0, 1 << 20, n))
+    b = ProgramBuilder()
+    b.li("r1", a.base)
+    b.li("r2", bseg.base)
+    b.li("r3", 0)
+    b.li("r4", n)
+    b.label("loop")
+    b.shli("r5", "r3", 3)
+    b.add("r5", "r1", "r5")
+    b.load("r6", "r5", note="stride")    # pc 6
+    b.shli("r7", "r6", 3)
+    b.add("r7", "r2", "r7")
+    b.load("r8", "r7", note="flr")       # pc 9
+    b.addi("r3", "r3", 1)
+    b.cmp_lt("r9", "r3", "r4")
+    b.bnz("r9", "loop")
+    program = b.build()
+    stride_pc = next(pc for pc, i in enumerate(program) if i.note == "stride")
+    flr_pc = next(pc for pc, i in enumerate(program) if i.note == "flr")
+    return program, mem, stride_pc, flr_pc
+
+
+class TestDiscoveryFSM:
+    def test_identifies_trigger_and_flr(self):
+        program, mem, stride_pc, flr_pc = simple_chain_kernel()
+        technique, _ = run_dvr(program, mem)
+        assert technique.discoveries > 0
+        assert technique._trigger_pc == stride_pc
+        assert technique._flr == flr_pc
+
+    def test_no_dependent_chain_means_no_spawn(self):
+        """A pure striding loop (stride prefetcher territory) must not
+        be worth a subthread (Section 4.1.2)."""
+        mem = MemoryImage()
+        a = mem.allocate("A", list(range(4096)))
+        b = ProgramBuilder()
+        b.li("r1", a.base)
+        b.li("r3", 0)
+        b.li("r4", 4096)
+        b.label("loop")
+        b.shli("r5", "r3", 3)
+        b.add("r5", "r1", "r5")
+        b.load("r6", "r5")
+        b.add("r7", "r7", "r6")  # consumed, but no dependent load
+        b.addi("r3", "r3", 1)
+        b.cmp_lt("r9", "r3", "r4")
+        b.bnz("r9", "loop")
+        technique, _ = run_dvr(b.build(), mem)
+        assert technique.discoveries > 0
+        assert technique.spawns == 0
+
+    def test_lane_counts_track_remaining_iterations(self):
+        """Near the end of a loop, spawns must shrink below the max."""
+        program, mem, _, _ = simple_chain_kernel(n=200)
+        technique, _ = run_dvr(program, mem, max_instructions=3000)
+        # 200-iteration loop: every spawn sees fewer than 128+64
+        # remaining, and the nested threshold (64) routes short tails.
+        assert technique.spawns + technique.nested_spawns >= 1
+        if technique.total_lanes:
+            assert technique.total_lanes <= 200 + 128  # no gross over-fetch
+
+    def test_discovery_abort_on_runaway(self):
+        """If the striding load never recurs, Discovery must abort."""
+        mem = MemoryImage()
+        a = mem.allocate("A", list(range(512)))
+        pad = mem.allocate("PAD", 8)
+        b = ProgramBuilder()
+        b.li("r1", a.base)
+        b.li("r3", 0)
+        # A short striding warm-up loop that then falls into a long
+        # non-repeating tail.
+        b.label("warm")
+        b.shli("r5", "r3", 3)
+        b.add("r5", "r1", "r5")
+        b.load("r6", "r5")
+        b.shli("r7", "r6", 3)
+        b.add("r7", "r1", "r7")
+        b.load("r8", "r7")
+        b.addi("r3", "r3", 1)
+        b.cmp_lti("r9", "r3", 8)
+        b.bnz("r9", "warm")
+        for _ in range(700):  # longer than the discovery budget
+            b.addi("r10", "r10", 1)
+        technique, _ = run_dvr(b.build(), mem)
+        assert technique._state == "idle"
+
+    def test_retrigger_damping(self):
+        program, mem, _, _ = simple_chain_kernel()
+        technique, _ = run_dvr(program, mem)
+        # Damping: far fewer discoveries than loop iterations observed.
+        iterations = 6000 // 9
+        assert technique.discoveries < iterations / 4
+
+    def test_coverage_logic_directional(self):
+        technique = make_technique("dvr")
+        technique.lanes_max = 128
+        technique._coverage[10] = 0x2000
+        # Main thread far behind the covered horizon: skip.
+        assert not technique._worth_retriggering(10, 0x1000, 8)
+        # Main thread consumed most of the window: retrigger.
+        assert technique._worth_retriggering(10, 0x1F00, 8)
+        # Unknown PC always triggers.
+        assert technique._worth_retriggering(11, 0x1000, 8)
+
+    def test_zero_stride_never_retriggers_discovery_crash(self):
+        technique = make_technique("dvr")
+        technique.lanes_max = 128
+        assert technique._worth_retriggering(10, 0x1000, 0)
+
+
+class TestNestedDiscoveryDetails:
+    def test_inner_addresses_span_multiple_outer_iterations(self):
+        program, mem = build_nested_loop_kernel(outer=128, inner=8)
+        technique, _ = run_dvr(program, mem, max_instructions=8000)
+        assert technique.nested_spawns > 0
+        # Lanes per spawn exceed a single 8-iteration inner loop.
+        assert technique.total_lanes / max(1, technique.spawns) > 8
+
+    def test_nested_disabled_falls_back_to_short_spawns(self):
+        program, mem = build_nested_loop_kernel(outer=128, inner=8)
+        technique, _ = run_dvr(
+            program, mem, max_instructions=8000, technique_name="dvr-discovery"
+        )
+        assert technique.nested_spawns == 0
+        assert technique.spawns > 0
+        # Loop-bound inference caps spawns at the short inner trip count
+        # (occasional 128-lane fallbacks occur when Discovery spans an
+        # outer-loop boundary, exactly as the paper's footnote allows).
+        assert technique.total_lanes / technique.spawns < 32
+
+    def test_nested_beats_discovery_only_on_short_loops(self):
+        program, mem = build_nested_loop_kernel(outer=256, inner=8)
+        _, with_nested = run_dvr(program, mem, max_instructions=8000)
+        program, mem = build_nested_loop_kernel(outer=256, inner=8)
+        _, without = run_dvr(
+            program, mem, max_instructions=8000, technique_name="dvr-discovery"
+        )
+        assert with_nested.ipc > without.ipc
+
+
+class TestInnermostSwitching:
+    def test_switches_to_inner_stride(self):
+        program, mem = build_nested_loop_kernel(outer=64, inner=32)
+        technique, _ = run_dvr(program, mem, max_instructions=8000)
+        assert technique.innermost_switches >= 1
+        # The final trigger is the *inner* striding load: the IDX[j]
+        # access, which is the third load in the kernel.
+        load_pcs = [pc for pc, instr in enumerate(program) if instr.is_load]
+        assert technique._trigger_pc == load_pcs[2]

@@ -1,0 +1,169 @@
+"""Integration tests asserting the paper's qualitative results.
+
+These are the reproduction's acceptance tests: each encodes a *shape*
+from the evaluation section (who wins, where, and in which direction
+trends move), at instruction budgets small enough for CI.
+"""
+
+import pytest
+
+from repro.config import CoreConfig, SimConfig
+from repro.experiments import run_simulation
+
+BUDGET = 6_000
+
+
+def ipc(workload, technique, rob=None, budget=BUDGET, input_name=None):
+    cfg = SimConfig()
+    if rob is not None:
+        cfg = cfg.with_core(CoreConfig().with_scaled_backend(rob))
+    return run_simulation(
+        workload, technique, cfg, max_instructions=budget, input_name=input_name
+    )
+
+
+class TestHeadlineOrdering:
+    """Figure 7: DVR is the best real technique; Oracle bounds everything."""
+
+    @pytest.mark.parametrize("workload", ["camel", "kangaroo", "graph500"])
+    def test_dvr_beats_baseline(self, workload):
+        assert ipc(workload, "dvr").ipc > 1.2 * ipc(workload, "ooo").ipc
+
+    @pytest.mark.parametrize("workload", ["camel", "hj8", "bfs"])
+    def test_oracle_is_upper_bound(self, workload):
+        oracle = ipc(workload, "oracle").ipc
+        for tech in ("ooo", "vr", "dvr"):
+            assert oracle >= ipc(workload, tech).ipc
+
+    @pytest.mark.parametrize("workload", ["camel", "bfs", "nas_cg"])
+    def test_dvr_at_least_matches_vr(self, workload):
+        """Section 6.1: DVR delivers ~2x over VR on the 350-entry ROB."""
+        assert ipc(workload, "dvr").ipc >= ipc(workload, "vr").ipc
+
+    def test_dvr_roughly_2x_vr_on_multilevel_chain(self):
+        vr = ipc("hj8", "vr", budget=8000).ipc
+        dvr = ipc("hj8", "dvr", budget=8000).ipc
+        assert dvr / vr > 1.2
+
+
+class TestFigure2Trend:
+    """VR's gain shrinks with ROB size; the OoO baseline grows."""
+
+    def test_vr_speedup_larger_on_small_rob(self):
+        small = ipc("camel", "vr", rob=128).ipc / ipc("camel", "ooo", rob=128).ipc
+        large = ipc("camel", "vr", rob=512).ipc / ipc("camel", "ooo", rob=512).ipc
+        assert small > large
+
+    def test_baseline_scales_with_rob(self):
+        assert ipc("camel", "ooo", rob=512).ipc > ipc("camel", "ooo", rob=128).ipc
+
+    def test_stall_time_falls_with_rob(self):
+        small = ipc("camel", "ooo", rob=128).full_rob_stall_fraction
+        large = ipc("camel", "ooo", rob=512).full_rob_stall_fraction
+        assert small >= large
+
+
+class TestFigure12Trend:
+    """DVR's speedup holds as the ROB grows (unlike VR's)."""
+
+    def test_dvr_speedup_persists_at_512(self):
+        speedup = (
+            ipc("graph500", "dvr", rob=512, budget=8000).ipc
+            / ipc("graph500", "ooo", rob=512, budget=8000).ipc
+        )
+        assert speedup > 1.15
+
+    def test_dvr_decay_much_smaller_than_vr_decay(self):
+        def speedup(tech, rob):
+            return ipc("camel", tech, rob=rob).ipc / ipc("camel", "ooo", rob=rob).ipc
+
+        vr_decay = speedup("vr", 128) - speedup("vr", 512)
+        dvr_decay = speedup("dvr", 128) - speedup("dvr", 512)
+        assert dvr_decay < vr_decay
+
+
+class TestFigure9MLP:
+    """DVR sustains far more outstanding misses than the baseline."""
+
+    @pytest.mark.parametrize("workload", ["camel", "kangaroo"])
+    def test_dvr_mlp_exceeds_baseline(self, workload):
+        base = ipc(workload, "ooo").mean_mshr_occupancy
+        dvr = ipc(workload, "dvr").mean_mshr_occupancy
+        assert dvr > base
+
+
+class TestFigure10Accuracy:
+    """Discovery Mode keeps DVR's traffic lower than blind vectorisation."""
+
+    @pytest.mark.parametrize("workload", ["bfs", "sssp"])
+    def test_offload_overfetches_vs_full_dvr(self, workload):
+        """The paper's Discovery-Mode case: on bc/bfs/sssp blind
+        vectorisation fetches data the true execution never touches."""
+        offload = ipc(workload, "dvr-offload", budget=8000)
+        full = ipc(workload, "dvr", budget=8000)
+        # More runahead DRAM traffic...
+        assert offload.dram_by_source.get("runahead", 0) > full.dram_by_source.get(
+            "runahead", 0
+        )
+
+        # ...and a larger fraction of it never used.
+        def waste(result):
+            t = result.timeliness
+            used = sum(t.get(k, 0) for k in ("L1", "L2", "L3", "Off-chip"))
+            unused = t.get("Unused", 0)
+            return unused / max(1, used + unused)
+
+        assert waste(offload) > waste(full)
+
+    def test_dvr_shifts_traffic_to_runahead(self):
+        result = ipc("camel", "dvr")
+        assert result.dram_by_source.get("runahead", 0) > result.dram_by_source.get(
+            "main", 0
+        )
+
+
+class TestFigure11Timeliness:
+    def test_most_demanded_prefetches_hit_on_chip(self):
+        result = ipc("camel", "dvr", budget=8000)
+        t = result.timeliness
+        on_chip = t.get("L1", 0) + t.get("L2", 0) + t.get("L3", 0)
+        demanded = on_chip + t.get("Off-chip", 0)
+        assert demanded > 0
+        assert on_chip / demanded > 0.5
+
+
+class TestIMPCharacter:
+    """Section 6.1: IMP handles simple indirection, fails on complex."""
+
+    def test_imp_strong_on_nas_is(self):
+        assert ipc("nas_is", "imp").ipc > 1.15 * ipc("nas_is", "ooo").ipc
+
+    def test_imp_useless_on_camel(self):
+        assert ipc("camel", "imp").ipc <= 1.05 * ipc("camel", "ooo").ipc
+
+    def test_dvr_beats_imp_on_hash_chains(self):
+        assert ipc("hj2", "dvr").ipc > 1.2 * ipc("hj2", "imp").ipc
+
+
+class TestInputSensitivity:
+    """Table 2 / Section 6.1: UR (uniform, short vertices) is the hard
+    input; power-law KR gives DVR long inner loops to vectorise."""
+
+    def test_dvr_gains_on_both_input_classes(self):
+        for input_name in ("KR", "UR"):
+            base = ipc("bfs", "ooo", input_name=input_name).ipc
+            dvr = ipc("bfs", "dvr", input_name=input_name).ipc
+            assert dvr > base
+
+    def test_nested_mode_engages_on_ur(self):
+        result = ipc("bfs", "dvr", input_name="UR", budget=8000)
+        assert result.technique_stats["nested_spawns"] > 0
+
+
+class TestBreakdown:
+    """Figure 8: each DVR ingredient contributes."""
+
+    def test_offload_already_beats_vr(self):
+        vr = ipc("graph500", "vr", budget=8000).ipc
+        offload = ipc("graph500", "dvr-offload", budget=8000).ipc
+        assert offload > vr

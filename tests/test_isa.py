@@ -1,0 +1,247 @@
+"""Unit tests for the ISA: opcodes, semantics, programs, the assembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AssemblyError
+from repro.isa import (
+    Instruction,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    alu_evaluate,
+    hash64,
+    is_address_op,
+)
+from repro.isa.instructions import (
+    BRANCHES,
+    COMPARES,
+    CONDITIONAL_BRANCHES,
+    FLOAT_OPS,
+    INT_ALU_OPS,
+    LOADS,
+    MEMORY_OPS,
+    STORES,
+)
+
+
+class TestOpcodeClassification:
+    def test_load_is_memory_op(self):
+        assert Opcode.LOAD in LOADS
+        assert Opcode.LOAD in MEMORY_OPS
+
+    def test_store_is_memory_op(self):
+        assert Opcode.STORE in STORES
+        assert Opcode.STORE in MEMORY_OPS
+
+    def test_conditional_branches(self):
+        assert CONDITIONAL_BRANCHES == frozenset({Opcode.BNZ, Opcode.BEZ})
+
+    def test_jmp_is_branch_but_not_conditional(self):
+        assert Opcode.JMP in BRANCHES
+        assert Opcode.JMP not in CONDITIONAL_BRANCHES
+
+    def test_compares(self):
+        for op in (Opcode.CMP_LT, Opcode.CMP_EQ, Opcode.CMP_LTI):
+            assert op in COMPARES
+
+    def test_float_ops_not_address_ops(self):
+        for op in FLOAT_OPS:
+            assert not is_address_op(op)
+
+    def test_int_alu_ops_are_address_ops(self):
+        for op in INT_ALU_OPS:
+            assert is_address_op(op)
+
+    def test_load_is_address_op(self):
+        assert is_address_op(Opcode.LOAD)
+
+
+class TestInstruction:
+    def test_sources_both(self):
+        instr = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert instr.sources() == (2, 3)
+
+    def test_sources_one(self):
+        instr = Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5)
+        assert instr.sources() == (2,)
+
+    def test_sources_none(self):
+        assert Instruction(Opcode.LI, rd=1, imm=9).sources() == ()
+
+    def test_predicates(self):
+        load = Instruction(Opcode.LOAD, rd=1, rs1=2)
+        assert load.is_load and load.is_mem and not load.is_store
+        store = Instruction(Opcode.STORE, rs1=1, rs2=2)
+        assert store.is_store and store.is_mem and not store.is_load
+        branch = Instruction(Opcode.BNZ, rs1=1, target=0)
+        assert branch.is_branch and branch.is_conditional_branch
+        cmp_ = Instruction(Opcode.CMP_LT, rd=1, rs1=2, rs2=3)
+        assert cmp_.is_compare
+        fadd = Instruction(Opcode.FADD, rd=1, rs1=2, rs2=3)
+        assert fadd.is_float
+
+    def test_str_is_readable(self):
+        text = str(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5))
+        assert "addi" in text and "r1" in text and "r2" in text and "5" in text
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "op,a,b,imm,expected",
+        [
+            (Opcode.LI, None, None, 42, 42),
+            (Opcode.MOV, 7, None, 0, 7),
+            (Opcode.ADD, 3, 4, 0, 7),
+            (Opcode.ADDI, 3, None, 4, 7),
+            (Opcode.SUB, 10, 4, 0, 6),
+            (Opcode.MUL, 3, 5, 0, 15),
+            (Opcode.DIV, 17, 5, 0, 3),
+            (Opcode.DIV, 17, 0, 0, 0),
+            (Opcode.AND, 0b1100, 0b1010, 0, 0b1000),
+            (Opcode.ANDI, 0b1100, None, 0b1010, 0b1000),
+            (Opcode.OR, 0b1100, 0b1010, 0, 0b1110),
+            (Opcode.XOR, 0b1100, 0b1010, 0, 0b0110),
+            (Opcode.SHLI, 3, None, 2, 12),
+            (Opcode.SHRI, 12, None, 2, 3),
+            (Opcode.CMP_LT, 3, 4, 0, 1),
+            (Opcode.CMP_LT, 4, 3, 0, 0),
+            (Opcode.CMP_EQ, 4, 4, 0, 1),
+            (Opcode.CMP_LTI, 3, None, 4, 1),
+            (Opcode.FDIV, 1.0, 0, 0, 0.0),
+        ],
+    )
+    def test_alu_evaluate(self, op, a, b, imm, expected):
+        assert alu_evaluate(op, a, b, imm) == expected
+
+    def test_float_ops(self):
+        assert alu_evaluate(Opcode.FADD, 1.5, 2.5, 0) == pytest.approx(4.0)
+        assert alu_evaluate(Opcode.FMUL, 1.5, 2.0, 0) == pytest.approx(3.0)
+        assert alu_evaluate(Opcode.FDIV, 3.0, 2.0, 0) == pytest.approx(1.5)
+
+    def test_unhandled_opcode_raises(self):
+        with pytest.raises(ValueError):
+            alu_evaluate(Opcode.LOAD, 1, 2, 0)
+
+    def test_hash64_deterministic(self):
+        assert hash64(12345) == hash64(12345)
+
+    def test_hash64_nonnegative_and_bounded(self):
+        for value in (0, 1, -5, 1 << 62, 987654321):
+            h = hash64(value)
+            assert 0 <= h < (1 << 63)
+
+    def test_hash64_spreads(self):
+        # Consecutive inputs should not hash to consecutive outputs.
+        deltas = {hash64(i + 1) - hash64(i) for i in range(64)}
+        assert len(deltas) == 64
+
+    @given(a=st.integers(-(2**40), 2**40), b=st.integers(-(2**40), 2**40))
+    @settings(max_examples=60)
+    def test_add_commutative(self, a, b):
+        assert alu_evaluate(Opcode.ADD, a, b, 0) == alu_evaluate(Opcode.ADD, b, a, 0)
+
+    @given(a=st.integers(0, 2**50))
+    @settings(max_examples=60)
+    def test_shift_roundtrip(self, a):
+        shifted = alu_evaluate(Opcode.SHLI, a, None, 3)
+        assert alu_evaluate(Opcode.SHRI, shifted, None, 3) == a
+
+    @given(a=st.integers(-(2**40), 2**40), b=st.integers(-(2**40), 2**40))
+    @settings(max_examples=60)
+    def test_cmp_lt_matches_python(self, a, b):
+        assert alu_evaluate(Opcode.CMP_LT, a, b, 0) == int(a < b)
+
+
+class TestProgramBuilder:
+    def test_forward_label_resolution(self):
+        b = ProgramBuilder()
+        b.li("r1", 1)
+        b.bnz("r1", "end")
+        b.li("r2", 2)
+        b.label("end")
+        b.halt()
+        program = b.build()
+        assert program[1].target == program.pc_of("end") == 3
+
+    def test_backward_label_resolution(self):
+        b = ProgramBuilder()
+        b.label("top")
+        b.li("r1", 1)
+        b.jmp("top")
+        program = b.build()
+        assert program[1].target == 0
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(AssemblyError):
+            b.label("x")
+
+    def test_undefined_label_rejected(self):
+        b = ProgramBuilder()
+        b.jmp("nowhere")
+        with pytest.raises(AssemblyError):
+            b.build()
+
+    def test_bad_register_rejected(self):
+        b = ProgramBuilder()
+        with pytest.raises(AssemblyError):
+            b.li("r99", 0)
+        with pytest.raises(AssemblyError):
+            b.li("x1", 0)
+
+    def test_int_registers_accepted(self):
+        b = ProgramBuilder()
+        b.li(5, 3)
+        program = b.build()
+        assert program[0].rd == 5
+
+    def test_auto_halt_appended(self):
+        program = ProgramBuilder().li("r1", 1).build()
+        assert program[len(program) - 1].opcode is Opcode.HALT
+
+    def test_explicit_halt_not_duplicated(self):
+        b = ProgramBuilder()
+        b.halt()
+        assert len(b.build()) == 1
+
+    def test_unknown_label_lookup(self):
+        program = ProgramBuilder().build()
+        with pytest.raises(AssemblyError):
+            program.pc_of("missing")
+
+    def test_listing_contains_labels(self):
+        b = ProgramBuilder()
+        b.label("entry")
+        b.li("r1", 1)
+        listing = b.build().listing()
+        assert "entry:" in listing and "li r1 1" in listing
+
+
+class TestAddressSlice:
+    def test_slice_contains_address_chain(self):
+        b = ProgramBuilder()
+        b.li("r1", 0x1000)   # base -> address relevant
+        b.li("r2", 0)        # i -> address relevant
+        b.fadd("r9", "r2", "r2")  # float: never feeds an address
+        b.label("loop")
+        b.shli("r3", "r2", 3)
+        b.add("r4", "r1", "r3")
+        b.load("r5", "r4")
+        b.addi("r2", "r2", 1)
+        b.cmp_lti("r6", "r2", 10)
+        b.bnz("r6", "loop")
+        program = b.build()
+        slice_pcs = program.address_slice_pcs()
+        # The load, its address producers, compares and branches are in.
+        for pc, instr in enumerate(program):
+            if instr.is_load or instr.is_branch or instr.is_compare:
+                assert pc in slice_pcs
+        # The float op feeds no load address.
+        assert 2 not in slice_pcs
+
+    def test_slice_cached(self):
+        program = ProgramBuilder().li("r1", 1).build()
+        assert program.address_slice_pcs() is program.address_slice_pcs()

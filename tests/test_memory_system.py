@@ -1,0 +1,287 @@
+"""Unit tests for caches, MSHRs, DRAM, and the assembled hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, MemoryConfig
+from repro.memory import Cache, Dram, MemoryHierarchy, MSHRFile
+from repro.memory.hierarchy import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_L2,
+    LEVEL_L3,
+    LEVEL_MSHR,
+    LEVEL_OFFCHIP,
+    LEVEL_UNUSED,
+)
+
+
+def small_cache(size=1024, assoc=2, latency=4):
+    return Cache("test", CacheConfig(size, assoc, latency=latency))
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.probe(5, cycle=10)
+        cache.fill(5, fill_cycle=10)
+        assert cache.probe(5, cycle=11)
+
+    def test_future_fill_is_not_a_hit(self):
+        cache = small_cache()
+        cache.fill(5, fill_cycle=100)
+        assert not cache.probe(5, cycle=50)
+        assert cache.probe(5, cycle=100)
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(size=2 * 64 * 1, assoc=2)  # 1 set, 2 ways
+        assert cache.num_sets == 1
+        cache.fill(1, 0)
+        cache.fill(2, 0)
+        cache.probe(1, 1)  # touch 1: now 2 is LRU
+        victim = cache.fill(3, 2)
+        assert victim == 2
+
+    def test_probe_without_lru_update(self):
+        cache = small_cache(size=2 * 64, assoc=2)
+        cache.fill(1, 0)
+        cache.fill(2, 0)
+        cache.probe(1, 1, update_lru=False)
+        victim = cache.fill(3, 2)
+        assert victim == 1  # 1 stayed LRU
+
+    def test_refill_keeps_earlier_availability(self):
+        cache = small_cache()
+        cache.fill(9, fill_cycle=10)
+        cache.fill(9, fill_cycle=100)
+        assert cache.probe(9, cycle=20)
+
+    def test_invalidate(self):
+        cache = small_cache()
+        cache.fill(7, 0)
+        cache.invalidate(7)
+        assert not cache.probe(7, 1)
+
+    def test_set_occupancy_bounded(self):
+        cache = small_cache(size=4 * 64, assoc=4)
+        for line in range(0, 100, cache.num_sets):
+            cache.fill(line, 0)
+        for bucket in cache._sets.values():
+            assert len(bucket) <= cache.assoc
+
+    def test_hit_rate(self):
+        cache = small_cache()
+        cache.fill(1, 0)
+        cache.probe(1, 1)
+        cache.probe(2, 1)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_contains_is_stats_neutral(self):
+        cache = small_cache()
+        cache.fill(1, 0)
+        hits, misses = cache.hits, cache.misses
+        cache.contains(1, 5)
+        assert (cache.hits, cache.misses) == (hits, misses)
+
+
+class TestMSHR:
+    def test_allocate_until_full(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.allocate(1, cycle=0, ready=100)
+        assert mshrs.allocate(2, cycle=0, ready=100)
+        assert not mshrs.allocate(3, cycle=0, ready=100)
+        assert mshrs.rejected_requests == 1
+
+    def test_lazy_reclamation(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(1, cycle=0, ready=50)
+        assert not mshrs.available(cycle=49)
+        assert mshrs.available(cycle=50)
+        assert mshrs.allocate(2, cycle=50, ready=80)
+
+    def test_merge_lookup(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(7, cycle=0, ready=100)
+        assert mshrs.lookup(7, cycle=10) == 100
+        assert mshrs.merged_requests == 1
+        assert mshrs.lookup(7, cycle=150) is None  # already completed
+
+    def test_next_free(self):
+        mshrs = MSHRFile(2)
+        mshrs.allocate(1, 0, 60)
+        mshrs.allocate(2, 0, 40)
+        assert mshrs.next_free(cycle=10) == 40
+        assert mshrs.next_free(cycle=45) == 45
+
+    def test_occupancy(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(1, 0, 100)
+        mshrs.allocate(2, 0, 100)
+        assert mshrs.occupancy(50) == 2
+        assert mshrs.occupancy(100) == 0
+
+    def test_mean_occupancy_simple(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(1, 0, 100)
+        # One entry busy for 100 cycles of a 200-cycle run.
+        assert mshrs.mean_occupancy(200) == pytest.approx(0.5)
+
+    def test_mean_occupancy_clamped_at_capacity(self):
+        mshrs = MSHRFile(2)
+        # Lazy purging can admit overlapping intervals; the report clamps.
+        mshrs.allocate(1, 0, 100)
+        mshrs.allocate(2, 0, 100)
+        mshrs._inflight.clear()  # simulate out-of-order purge artifact
+        mshrs.allocate(3, 0, 100)
+        assert mshrs.mean_occupancy(100) <= 2.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+    @given(
+        intervals=st.lists(
+            st.tuples(st.integers(0, 500), st.integers(1, 200)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40)
+    def test_mean_occupancy_matches_reference(self, intervals):
+        mshrs = MSHRFile(1000)  # effectively unbounded
+        horizon = 0
+        for start, length in intervals:
+            mshrs._interval_starts.append(start)
+            mshrs._interval_ends.append(start + length)
+            horizon = max(horizon, start + length)
+        expected = sum(length for _, length in intervals) / horizon
+        assert mshrs.mean_occupancy(horizon) == pytest.approx(expected)
+
+
+class TestDram:
+    def test_min_latency(self):
+        dram = Dram(latency=200, bytes_per_cycle=64)
+        assert dram.access(10) == 210
+
+    def test_same_slot_contention(self):
+        dram = Dram(latency=100, bytes_per_cycle=12.8)  # 5-cycle service
+        first = dram.access(0)
+        second = dram.access(0)
+        assert second >= first + dram.service_cycles
+        assert dram.contended_accesses == 1
+
+    def test_order_insensitive(self):
+        """A late access must not delay an earlier-in-time one."""
+        dram = Dram(latency=100, bytes_per_cycle=12.8)
+        dram.access(1000)  # processed first, happens late
+        early = dram.access(0)  # happens early in wall-clock
+        assert early == 100  # unaffected by the later transfer
+
+    def test_utilization(self):
+        dram = Dram(latency=10, bytes_per_cycle=12.8)
+        for k in range(10):
+            dram.access(k * 100)
+        assert dram.utilization(1000) == pytest.approx(0.05)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Dram(latency=-1)
+        with pytest.raises(ValueError):
+            Dram(bytes_per_cycle=0)
+
+
+def make_hierarchy(ideal=False):
+    return MemoryHierarchy(MemoryConfig.scaled(), ideal=ideal)
+
+
+class TestHierarchy:
+    def test_cold_miss_goes_to_dram(self):
+        h = make_hierarchy()
+        result = h.access(0x10000, cycle=0)
+        assert result.level == LEVEL_DRAM
+        assert result.ready >= h.dram.latency
+
+    def test_fill_then_l1_hit(self):
+        h = make_hierarchy()
+        first = h.access(0x10000, cycle=0)
+        second = h.access(0x10000, cycle=first.ready + 1)
+        assert second.level == LEVEL_L1
+        assert second.ready == first.ready + 1 + h.l1.latency
+
+    def test_inflight_merge(self):
+        h = make_hierarchy()
+        first = h.access(0x10000, cycle=0)
+        merged = h.access(0x10008, cycle=10)  # same 64B line
+        assert merged.level == LEVEL_MSHR
+        assert merged.ready == first.ready
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        h.access(0x10000, cycle=0)
+        # Evict from tiny L1 by filling its set with conflicting lines.
+        sets = h.l1.num_sets
+        for k in range(1, h.l1.assoc + 2):
+            h.access(0x10000 + k * sets * 64, cycle=1000 + k)
+        result = h.access(0x10000, cycle=5000)
+        assert result.level in (LEVEL_L2, LEVEL_L3)
+
+    def test_demand_stats_counted(self):
+        h = make_hierarchy()
+        h.access(0x10000, cycle=0)
+        h.access(0x20000, cycle=0, prefetch=True, source="runahead")
+        assert h.stats.demand_loads == 1
+        assert h.stats.prefetches_by_source["runahead"] == 1
+
+    def test_write_does_not_take_mshr(self):
+        h = make_hierarchy()
+        h.access(0x10000, cycle=0, write=True)
+        assert h.mshrs.occupancy(1) == 0
+
+    def test_load_needs_mshr(self):
+        h = make_hierarchy()
+        assert h.load_needs_mshr(0x10000, 0)
+        result = h.access(0x10000, cycle=0)
+        assert not h.load_needs_mshr(0x10000, 1)  # in flight: merge
+        assert not h.load_needs_mshr(0x10000, result.ready + 1)  # in L1
+
+    def test_timeliness_l1_classification(self):
+        h = make_hierarchy()
+        fill = h.access(0x10000, cycle=0, prefetch=True, source="runahead")
+        h.access(0x10000, cycle=fill.ready + 10)  # demand finds it in L1
+        assert h.stats.timeliness == {LEVEL_L1: 1}
+
+    def test_timeliness_late_prefetch_is_offchip(self):
+        h = make_hierarchy()
+        h.access(0x10000, cycle=0, prefetch=True, source="runahead")
+        h.access(0x10000, cycle=5)  # demand arrives while still in flight
+        assert h.stats.timeliness == {LEVEL_OFFCHIP: 1}
+
+    def test_unused_prefetch_bucketed_at_finalize(self):
+        h = make_hierarchy()
+        h.access(0x10000, cycle=0, prefetch=True, source="runahead")
+        h.finalize_timeliness()
+        assert h.stats.timeliness == {LEVEL_UNUSED: 1}
+
+    def test_dram_split_by_source(self):
+        h = make_hierarchy()
+        h.access(0x10000, cycle=0)
+        h.access(0x20000, cycle=0, prefetch=True, source="runahead")
+        assert h.dram_accesses("main") == 1
+        assert h.dram_accesses("runahead") == 1
+        assert h.dram_accesses() == 2
+
+    def test_ideal_mode_l1_latency(self):
+        h = make_hierarchy(ideal=True)
+        result = h.access(0x10000, cycle=0)
+        assert result.level == LEVEL_L1
+        assert result.ready == h.l1.latency
+
+    def test_ideal_mode_bandwidth_throttle(self):
+        h = make_hierarchy(ideal=True)
+        latest = 0
+        # Sustained distinct-line demand far above channel bandwidth.
+        for k in range(4000):
+            latest = h.access(0x10000 + k * 64, cycle=k // 4).ready
+        # Completion must lag the request stream once the lead is burnt.
+        assert latest > 4000 // 4 + h.l1.latency

@@ -1,0 +1,205 @@
+"""Timing-model tests for the out-of-order core."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import CoreConfig, MemoryConfig, SimConfig
+from repro.core import OoOCore
+from repro.errors import SimulationError
+from repro.isa import ProgramBuilder
+from repro.memory import MemoryImage
+from repro.prefetch.base import Technique
+
+from conftest import build_counted_loop, build_indirect_kernel, quick_config
+
+
+def run_core(program, mem, config=None, technique=None, trace=0):
+    core = OoOCore(
+        program, mem, config or quick_config(), technique=technique, trace_limit=trace
+    )
+    return core, core.run()
+
+
+class TestBasicTiming:
+    def test_ipc_bounded_by_width(self):
+        program, mem = build_counted_loop(500)
+        _, result = run_core(program, mem)
+        assert 0 < result.ipc <= SimConfig().core.width
+
+    def test_dependent_chain_serialises(self):
+        """N dependent single-cycle adds need at least N cycles."""
+        b = ProgramBuilder()
+        b.li("r1", 0)
+        for _ in range(200):
+            b.addi("r1", "r1", 1)
+        mem = MemoryImage()
+        mem.allocate("pad", 1)
+        _, result = run_core(b.build(), mem)
+        assert result.cycles >= 200
+
+    def test_independent_adds_overlap(self):
+        b = ProgramBuilder()
+        for reg in range(1, 5):
+            b.li(f"r{reg}", 0)
+        for k in range(200):
+            b.addi(f"r{1 + k % 4}", f"r{1 + k % 4}", 1)
+        mem = MemoryImage()
+        mem.allocate("pad", 1)
+        _, result = run_core(b.build(), mem)
+        # Four independent chains on four ALUs: ~4x faster than serial.
+        assert result.cycles < 200
+
+    def test_commit_cycles_monotone(self):
+        program, mem = build_counted_loop(50)
+        core, _ = run_core(program, mem, trace=200)
+        commits = [row[8] for row in core.trace]
+        assert all(b >= a for a, b in zip(commits, commits[1:]))
+
+    def test_issue_not_before_dispatch(self):
+        program, mem = build_counted_loop(50)
+        core, _ = run_core(program, mem, trace=200)
+        for row in core.trace:
+            _, _, _, fetch, dispatch, ready, issue, complete, commit = row
+            assert fetch <= dispatch <= ready <= issue < complete < commit
+
+    def test_single_run_enforced(self):
+        program, mem = build_counted_loop(5)
+        core, _ = run_core(program, mem)
+        with pytest.raises(SimulationError):
+            core.run()
+
+    def test_max_instructions_respected(self):
+        program, mem = build_counted_loop(100000)
+        _, result = run_core(program, mem, quick_config(max_instructions=1000))
+        assert result.instructions == 1000
+
+
+class TestMemoryTiming:
+    def test_cold_load_pays_dram_latency(self):
+        mem = MemoryImage()
+        seg = mem.allocate("a", [1])
+        b = ProgramBuilder()
+        b.li("r1", seg.base)
+        b.load("r2", "r1")
+        b.addi("r3", "r2", 1)  # depends on the load
+        core, result = run_core(b.build(), mem, trace=10)
+        load_row = core.trace[1]
+        assert load_row[7] - load_row[6] >= SimConfig().memory.dram_latency
+
+    def test_second_access_hits_l1(self):
+        mem = MemoryImage()
+        seg = mem.allocate("a", [1, 2])
+        b = ProgramBuilder()
+        b.li("r1", seg.base)
+        b.load("r2", "r1")
+        b.load("r3", "r1", 8)  # same line, must wait for fill then hit
+        core, result = run_core(b.build(), mem, trace=10)
+        assert result.demand_level_counts.get("MSHR", 0) == 1
+
+    def test_memory_bound_kernel_is_slow(self):
+        program, mem = build_indirect_kernel(n=4096, levels=2)
+        _, result = run_core(program, mem)
+        assert result.ipc < 1.0
+        assert result.dram_accesses > 100
+
+    def test_branch_mispredicts_counted(self):
+        # Data-dependent branch on random values: unpredictable.
+        import numpy as np
+
+        rng = np.random.default_rng(9)
+        mem = MemoryImage()
+        seg = mem.allocate("a", rng.integers(0, 2, 2048))
+        b = ProgramBuilder()
+        b.li("r1", seg.base)
+        b.li("r2", 0)
+        b.li("r3", 2048)
+        b.label("loop")
+        b.shli("r4", "r2", 3)
+        b.add("r4", "r1", "r4")
+        b.load("r5", "r4")
+        b.bnz("r5", "skip")
+        b.addi("r6", "r6", 1)
+        b.label("skip")
+        b.addi("r2", "r2", 1)
+        b.cmp_lt("r7", "r2", "r3")
+        b.bnz("r7", "loop")
+        _, result = run_core(b.build(), mem)
+        assert result.branch_mispredictions > 100
+
+    def test_stall_fraction_in_unit_range(self):
+        program, mem = build_indirect_kernel(n=4096, levels=2)
+        _, result = run_core(program, mem)
+        assert 0.0 <= result.full_rob_stall_fraction <= 1.0
+
+
+class TestWindowEffects:
+    def test_smaller_rob_is_not_faster(self):
+        results = {}
+        for rob in (64, 512):
+            program, mem = build_indirect_kernel(n=4096, levels=1)
+            cfg = quick_config().with_core(CoreConfig().with_scaled_backend(rob))
+            _, results[rob] = run_core(program, mem, cfg)
+        assert results[512].ipc >= results[64].ipc
+
+    def test_full_rob_stall_hook_fires(self):
+        calls = []
+
+        class Spy(Technique):
+            name = "spy"
+
+            def on_full_rob_stall(self, start, end, head):
+                calls.append((start, end))
+
+        program, mem = build_indirect_kernel(n=4096, levels=2)
+        cfg = quick_config().with_core(CoreConfig().with_scaled_backend(128))
+        run_core(program, mem, cfg, technique=Spy())
+        assert calls
+        for start, end in calls:
+            assert end > start
+
+    def test_commit_block_honoured(self):
+        class Blocker(Technique):
+            name = "blocker"
+
+            def attach(self, core):
+                super().attach(core)
+                self.commit_blocked_until = 5000
+
+        program, mem = build_counted_loop(100)
+        _, result = run_core(program, mem, technique=Blocker())
+        assert result.cycles >= 5000
+        assert result.commit_block_cycles > 0
+
+    def test_fetch_block_honoured(self):
+        class FetchBlocker(Technique):
+            name = "fblocker"
+
+            def attach(self, core):
+                super().attach(core)
+                self.fetch_blocked_until = 3000
+
+        program, mem = build_counted_loop(100)
+        _, result = run_core(program, mem, technique=FetchBlocker())
+        assert result.cycles >= 3000
+
+
+class TestResultDerivedMetrics:
+    def test_llc_mpki(self):
+        program, mem = build_indirect_kernel(n=4096, levels=1)
+        _, result = run_core(program, mem)
+        assert result.llc_mpki() == pytest.approx(
+            1000.0 * result.dram_accesses / result.instructions
+        )
+
+    def test_result_identity_fields(self):
+        program, mem = build_counted_loop(10)
+        core = OoOCore(program, mem, quick_config(), workload_name="wl-x")
+        result = core.run()
+        assert result.workload == "wl-x"
+        assert result.technique == "ooo"
+
+    def test_mshr_occupancy_within_capacity(self):
+        program, mem = build_indirect_kernel(n=4096, levels=2)
+        _, result = run_core(program, mem)
+        assert 0 <= result.mean_mshr_occupancy <= SimConfig().memory.l1d_mshrs

@@ -1,0 +1,56 @@
+"""Parallel batch runner tests."""
+
+import pytest
+
+from repro.experiments import run_batch, speedup_matrix
+
+
+def _specs():
+    return [
+        {"workload": w, "technique": t, "max_instructions": 1200}
+        for w in ("camel", "nas_is")
+        for t in ("ooo", "dvr")
+    ]
+
+
+class TestRunBatch:
+    def test_serial_matches_individual_runs(self):
+        from repro.experiments import run_simulation
+
+        results = run_batch(_specs())
+        direct = run_simulation("camel", "ooo", max_instructions=1200)
+        assert results[0].to_dict() == direct.to_dict()
+
+    def test_parallel_is_bit_identical_to_serial(self):
+        serial = run_batch(_specs())
+        parallel = run_batch(_specs(), jobs=2)
+        for a, b in zip(serial, parallel):
+            assert a.to_dict() == b.to_dict()
+
+    def test_result_order_follows_spec_order(self):
+        results = run_batch(_specs(), jobs=2)
+        assert [r.workload for r in results] == ["camel", "camel", "nas_is", "nas_is"]
+        assert [r.technique for r in results] == ["ooo", "dvr", "ooo", "dvr"]
+
+    def test_single_spec_short_circuits(self):
+        results = run_batch([_specs()[0]], jobs=8)
+        assert len(results) == 1
+
+    def test_empty_batch(self):
+        assert run_batch([]) == []
+
+
+class TestSpeedupMatrix:
+    def test_matrix_shape_and_values(self):
+        matrix = speedup_matrix(
+            ["nas_is"], ["imp", "dvr"], instructions=1200, jobs=2
+        )
+        assert set(matrix) == {"nas_is"}
+        assert set(matrix["nas_is"]) == {"imp", "dvr"}
+        for value in matrix["nas_is"].values():
+            assert value > 0
+
+    def test_matrix_serial_equals_parallel(self):
+        serial = speedup_matrix(["camel"], ["dvr"], instructions=1200)
+        parallel = speedup_matrix(["camel"], ["dvr"], instructions=1200, jobs=2)
+        assert serial["camel"]["dvr"] == pytest.approx(parallel["camel"]["dvr"])

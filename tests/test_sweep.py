@@ -1,0 +1,128 @@
+"""Tests for the generic sweep/compare utilities and config overrides."""
+
+import pytest
+
+from repro.cli import main
+from repro.config import SimConfig
+from repro.errors import ConfigError
+from repro.experiments import apply_override, compare_techniques, run_sweep
+
+
+class TestApplyOverride:
+    def test_top_level_field(self):
+        cfg = apply_override(SimConfig(), "max_instructions", 123)
+        assert cfg.max_instructions == 123
+
+    def test_nested_field(self):
+        cfg = apply_override(SimConfig(), "runahead.dvr_lanes", 32)
+        assert cfg.runahead.dvr_lanes == 32
+        assert SimConfig().runahead.dvr_lanes == 128  # original untouched
+
+    def test_core_field(self):
+        cfg = apply_override(SimConfig(), "core.rob_size", 512)
+        assert cfg.core.rob_size == 512
+
+    def test_deeply_nested_field(self):
+        cfg = apply_override(SimConfig(), "memory.l1d_mshrs", 48)
+        assert cfg.memory.l1d_mshrs == 48
+
+    def test_value_coerced_to_field_type(self):
+        cfg = apply_override(SimConfig(), "memory.dram_bytes_per_cycle", 25)
+        assert cfg.memory.dram_bytes_per_cycle == pytest.approx(25.0)
+        assert isinstance(cfg.memory.dram_bytes_per_cycle, float)
+
+    def test_bool_field(self):
+        cfg = apply_override(SimConfig(), "runahead.nested_enabled", False)
+        assert cfg.runahead.nested_enabled is False
+
+    def test_unknown_path_raises(self):
+        with pytest.raises(ConfigError):
+            apply_override(SimConfig(), "runahead.warp_factor", 9)
+        with pytest.raises(ConfigError):
+            apply_override(SimConfig(), "nope.deeper", 1)
+
+
+class TestRunSweep:
+    def test_sweep_rows_match_values(self):
+        result = run_sweep(
+            "nas_is", "dvr", "runahead.dvr_lanes", [32, 128], instructions=1500
+        )
+        assert [row[0] for row in result.rows] == [32, 128]
+        for row in result.rows:
+            assert row[1] > 0  # ipc
+            assert row[2] > 0  # speedup
+
+    def test_sweep_rob_size(self):
+        result = run_sweep(
+            "camel", "ooo", "core.rob_size", [64, 512], instructions=1500
+        )
+        ipc_small, ipc_big = result.rows[0][1], result.rows[1][1]
+        assert ipc_big >= ipc_small
+
+    def test_multi_seed_adds_stdev_column(self):
+        result = run_sweep(
+            "nas_is",
+            "dvr",
+            "runahead.dvr_lanes",
+            [64],
+            instructions=1200,
+            seeds=[1, 2],
+        )
+        assert result.headers[-1] == "speedup_stdev"
+        assert result.rows[0][-1] >= 0
+
+
+class TestCompareTechniques:
+    def test_matrix_shape(self):
+        result = compare_techniques(["nas_is"], ["imp", "dvr"], instructions=1500)
+        assert result.headers == ["workload", "imp", "dvr"]
+        assert result.rows[0][0] == "nas_is"
+
+    def test_multi_seed_interleaves_stdev(self):
+        result = compare_techniques(
+            ["camel"], ["dvr"], instructions=1200, seeds=[1, 2]
+        )
+        assert result.headers == ["workload", "dvr", "dvr_stdev"]
+        assert result.rows[0][2] >= 0
+
+    def test_seed_changes_workload_data(self):
+        import numpy as np
+
+        from repro.workloads import build_workload
+
+        a = build_workload("camel", seed=11)
+        b = build_workload("camel", seed=12)
+        assert not np.array_equal(
+            a.memory.segment("A").data, b.memory.segment("A").data
+        )
+
+
+class TestCLI:
+    def test_sweep_command(self, capsys):
+        code = main(
+            [
+                "sweep", "--workload", "nas_is", "--technique", "dvr",
+                "--param", "runahead.dvr_lanes", "--values", "32", "64",
+                "--instructions", "1200",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runahead.dvr_lanes" in out
+
+    def test_compare_command_csv(self, capsys):
+        code = main(
+            [
+                "compare", "--workloads", "nas_is", "--techniques", "dvr",
+                "--instructions", "1200", "--format", "csv",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.startswith("workload,dvr")
+
+    def test_value_parsing(self):
+        from repro.cli import _parse_value
+
+        assert _parse_value("64") == 64
+        assert _parse_value("1.5") == pytest.approx(1.5)
+        assert _parse_value("true-ish") == "true-ish"

@@ -1,0 +1,175 @@
+"""Tests for the PREFETCH opcode and the software-prefetching pass."""
+
+import numpy as np
+import pytest
+
+from repro.core import FunctionalCore, OoOCore
+from repro.errors import AssemblyError
+from repro.experiments import run_simulation
+from repro.isa import Opcode, ProgramBuilder, insert_software_prefetches
+from repro.isa.swpf import _find_indirect_pairs, _find_innermost_loop
+from repro.memory import MemoryImage
+
+from conftest import build_indirect_kernel, quick_config
+
+
+class TestPrefetchOpcode:
+    def test_functional_noop(self):
+        mem = MemoryImage()
+        seg = mem.allocate("a", [5])
+        b = ProgramBuilder()
+        b.li("r1", seg.base)
+        b.prefetch("r1")
+        b.load("r2", "r1")
+        core = FunctionalCore(b.build(), mem)
+        core.run_to_completion()
+        assert core.regs[2] == 5
+
+    def test_never_faults_on_garbage_address(self):
+        mem = MemoryImage()
+        mem.allocate("a", [5])
+        b = ProgramBuilder()
+        b.li("r1", 0x5BAD0000)
+        b.prefetch("r1")
+        core = FunctionalCore(b.build(), mem)
+        core.run_to_completion()  # must not raise
+
+    def test_timing_issues_hierarchy_prefetch(self):
+        mem = MemoryImage()
+        seg = mem.allocate("a", list(range(64)))
+        b = ProgramBuilder()
+        b.li("r1", seg.base)
+        b.prefetch("r1", 256)
+        result = OoOCore(b.build(), mem, quick_config(10)).run()
+        assert result.prefetches_by_source.get("prefetcher", 0) == 1
+
+    def test_unmapped_prefetch_dropped_in_timing(self):
+        mem = MemoryImage()
+        mem.allocate("a", [1])
+        b = ProgramBuilder()
+        b.li("r1", 0x7F000000)
+        b.prefetch("r1")
+        result = OoOCore(b.build(), mem, quick_config(10)).run()
+        assert result.prefetches_by_source.get("prefetcher", 0) == 0
+
+    def test_classification(self):
+        from repro.isa.instructions import Instruction
+
+        instr = Instruction(Opcode.PREFETCH, rs1=1, imm=8)
+        assert instr.is_prefetch and instr.is_mem
+        assert not instr.is_load and not instr.is_store
+        assert "prefetch" in str(instr)
+
+
+class TestLoopAnalysis:
+    def test_finds_innermost_loop(self):
+        program, _ = build_indirect_kernel(levels=1)
+        loop = _find_innermost_loop(program)
+        assert loop is not None
+        assert program[loop.branch_pc].is_conditional_branch
+        assert loop.step == 1
+
+    def test_finds_indirect_pair(self):
+        program, _ = build_indirect_kernel(levels=1)
+        loop = _find_innermost_loop(program)
+        pairs = _find_indirect_pairs(program, loop)
+        assert len(pairs) == 1
+
+    def test_no_loop_returns_program_unchanged(self):
+        b = ProgramBuilder()
+        b.li("r1", 1)
+        b.addi("r1", "r1", 2)
+        program = b.build()
+        assert insert_software_prefetches(program) is program
+
+    def test_no_indirection_returns_unchanged(self):
+        from conftest import build_counted_loop
+
+        program, _ = build_counted_loop(10)
+        assert insert_software_prefetches(program) is program
+
+
+class TestTransformation:
+    def test_inserts_prefetch_and_guard(self):
+        program, _ = build_indirect_kernel(levels=1)
+        transformed = insert_software_prefetches(program)
+        ops = [instr.opcode for instr in transformed]
+        assert Opcode.PREFETCH in ops
+        assert len(transformed) > len(program)
+
+    def test_functional_equivalence(self):
+        program, mem = build_indirect_kernel(n=512, levels=1, seed=7)
+        program_ref, mem_ref = build_indirect_kernel(n=512, levels=1, seed=7)
+        FunctionalCore(program_ref, mem_ref).run_to_completion(1_000_000)
+        FunctionalCore(
+            insert_software_prefetches(program), mem
+        ).run_to_completion(1_000_000)
+        for seg in mem_ref.segments():
+            assert np.array_equal(mem.segment(seg.name).data, seg.data)
+
+    def test_lookahead_never_reads_out_of_bounds(self):
+        """The guard keeps the look-ahead index load in bounds even at
+        the very end of the loop — a functional run must not fault."""
+        program, mem = build_indirect_kernel(n=64, levels=1)
+        FunctionalCore(
+            insert_software_prefetches(program, distance=48), mem
+        ).run_to_completion(1_000_000)
+
+    def test_speeds_up_indirect_kernel(self):
+        base = run_simulation("nas_is", "ooo", max_instructions=6000)
+        swpf = run_simulation("nas_is", "swpf", max_instructions=6000)
+        assert swpf.technique == "swpf"
+        assert swpf.ipc > 1.2 * base.ipc
+
+    def test_distance_parameter(self):
+        program, _ = build_indirect_kernel(levels=1)
+        near = insert_software_prefetches(program, distance=2)
+        far = insert_software_prefetches(program, distance=64)
+        # Same structure, different look-ahead immediates.
+        addis_near = [i.imm for i in near if i.opcode is Opcode.ADDI]
+        addis_far = [i.imm for i in far if i.opcode is Opcode.ADDI]
+        assert 2 in addis_near and 64 in addis_far
+
+    def test_labels_preserved(self):
+        program, _ = build_indirect_kernel(levels=1)
+        transformed = insert_software_prefetches(program)
+        assert set(program.labels) == set(transformed.labels)
+
+    def test_scratch_register_exhaustion(self):
+        b = ProgramBuilder()
+        # Touch every register so no scratch remains...
+        for reg in range(1, 32):
+            b.li(f"r{reg}", reg)
+        mem = MemoryImage()
+        a = mem.allocate("A", list(range(64)))
+        bseg = mem.allocate("B", list(range(64)))
+        b.li("r1", a.base)
+        b.li("r2", bseg.base)
+        b.li("r3", 0)
+        b.li("r4", 16)
+        b.label("loop")
+        b.shli("r5", "r3", 3)
+        b.add("r5", "r1", "r5")
+        b.load("r6", "r5")
+        b.shli("r7", "r6", 3)
+        b.add("r7", "r2", "r7")
+        b.load("r8", "r7")
+        b.addi("r3", "r3", 1)
+        b.cmp_lt("r9", "r3", "r4")
+        b.bnz("r9", "loop")
+        with pytest.raises(AssemblyError):
+            insert_software_prefetches(b.build())
+
+    def test_runahead_engines_skip_prefetch_hints(self):
+        """DVR over a swpf-transformed program must not crash or double
+        count the hint instructions in its chains."""
+        result = run_simulation("kangaroo", "dvr", max_instructions=4000)
+        program, mem = build_indirect_kernel(levels=1)
+        transformed = insert_software_prefetches(program)
+        from repro.techniques import make_technique
+
+        core = OoOCore(
+            transformed, mem, quick_config(4000), technique=make_technique("dvr")
+        )
+        dvr_result = core.run()
+        assert dvr_result.instructions > 0

@@ -1,0 +1,171 @@
+"""Deeper internals: DVR's continuation chaining and nested-lane
+arithmetic, VR's scan behaviour, hierarchy corner cases, and the SWPF
+pass applied systematically to every paper kernel."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoryConfig
+from repro.core import FunctionalCore, OoOCore
+from repro.isa import ProgramBuilder, insert_software_prefetches
+from repro.memory import MemoryHierarchy, MemoryImage
+from repro.techniques import make_technique
+from repro.workloads import WORKLOAD_NAMES, build_workload
+
+from conftest import build_nested_loop_kernel, quick_config
+
+
+class TestDVRInternals:
+    def test_lane_iterations_arithmetic(self):
+        from repro.runahead.dvr import DecoupledVectorRunahead
+
+        class Compare:
+            rs1, rs2, uses_imm, imm = 1, 2, False, 0
+
+        regs = [0] * 32
+        regs[1] = 10  # induction current
+        regs[2] = 30  # bound
+        assert DecoupledVectorRunahead._lane_iterations(regs, 1, 1, Compare()) == 20
+        assert DecoupledVectorRunahead._lane_iterations(regs, 1, 2, Compare()) == 10
+        # Decrementing loop.
+        regs[1], regs[2] = 30, 10
+        assert DecoupledVectorRunahead._lane_iterations(regs, 1, -1, Compare()) == 20
+
+    def test_lane_iterations_immediate_compare(self):
+        from repro.runahead.dvr import DecoupledVectorRunahead
+
+        class Compare:
+            rs1, rs2, uses_imm, imm = 1, None, True, 64
+
+        regs = [0] * 32
+        regs[1] = 60
+        assert DecoupledVectorRunahead._lane_iterations(regs, 1, 1, Compare()) == 4
+
+    def test_lane_iterations_defaults_on_garbage(self):
+        from repro.runahead.dvr import DecoupledVectorRunahead
+
+        class Compare:
+            rs1, rs2, uses_imm, imm = 1, 2, False, 0
+
+        regs = [None] * 32
+        assert DecoupledVectorRunahead._lane_iterations(regs, 1, 1, Compare()) == 8
+        assert DecoupledVectorRunahead._lane_iterations(regs, None, 1, None) == 8
+
+    def test_lane_iterations_capped(self):
+        from repro.runahead.dvr import DecoupledVectorRunahead
+
+        class Compare:
+            rs1, rs2, uses_imm, imm = 1, 2, False, 0
+
+        regs = [0] * 32
+        regs[1], regs[2] = 0, 1 << 20
+        assert DecoupledVectorRunahead._lane_iterations(regs, 1, 1, Compare()) == 128
+
+    def test_nested_continuation_chains_two_runs(self):
+        """NDM phase B must hand off to the inner chain run (the
+        continuation), visible as two sequential active runs."""
+        program, mem = build_nested_loop_kernel(outer=128, inner=8)
+        technique = make_technique("dvr")
+        core = OoOCore(program, mem, quick_config(6000), technique=technique)
+        core.run()
+        assert technique.nested_spawns > 0
+        # After finalize, nothing is left pending.
+        assert technique._active is None
+        assert technique._continuation is None
+
+    def test_finalize_drains_active_run(self):
+        program, mem = build_nested_loop_kernel(outer=64, inner=8)
+        technique = make_technique("dvr")
+        core = OoOCore(program, mem, quick_config(1500), technique=technique)
+        core.run()  # calls finalize internally
+        assert technique._active is None
+
+    def test_collect_inner_addresses_cap(self):
+        """Nested collection stops at 128 lanes no matter how many
+        outer iterations were captured."""
+        program, mem = build_nested_loop_kernel(outer=512, inner=32)
+        technique = make_technique("dvr")
+        core = OoOCore(program, mem, quick_config(8000), technique=technique)
+        core.run()
+        if technique.nested_spawns:
+            assert technique.total_lanes / technique.spawns <= 128 + 16
+
+
+class TestVRInternals:
+    def test_no_trigger_without_confident_stride(self):
+        """Pure pointer chasing (no striding load) leaves VR scalar."""
+        rng = np.random.default_rng(3)
+        mem = MemoryImage()
+        n = 2048
+        # A permutation cycle: p = NEXT[p].
+        perm = rng.permutation(n).astype(np.int64)
+        nxt = mem.allocate("NEXT", perm * 8)
+        base_fix = nxt.base
+        nxt.data += base_fix  # absolute pointers
+        b = ProgramBuilder()
+        b.li("r1", nxt.base)
+        b.li("r2", 4000)
+        b.label("loop")
+        b.load("r1", "r1")          # p = *p   (no stride)
+        b.addi("r2", "r2", -1)
+        b.bnz("r2", "loop")
+        technique = make_technique("vr")
+        core = OoOCore(b.build(), mem, quick_config(4000), technique=technique)
+        core.run()
+        assert technique.vector_episodes == 0
+
+    def test_commit_block_monotone(self):
+        program, mem = build_nested_loop_kernel(outer=256, inner=8)
+        technique = make_technique("vr")
+        core = OoOCore(program, mem, quick_config(4000), technique=technique)
+        result = core.run()
+        assert technique.commit_blocked_until <= result.cycles + 10_000
+
+
+class TestHierarchyCorners:
+    def test_llc_only_fill_evicts_within_l3(self):
+        h = MemoryHierarchy(MemoryConfig.scaled())
+        sets = h.l3.num_sets
+        base = 0x100000
+        for k in range(h.l3.assoc + 2):
+            h.access(base + k * sets * 64, 0, source="runahead", prefetch=True, fill_to="l3")
+        total = sum(len(bucket) for bucket in h.l3._sets.values())
+        assert total <= h.l3.num_sets * h.l3.assoc
+
+    def test_writes_count_dram_traffic(self):
+        h = MemoryHierarchy(MemoryConfig.scaled())
+        h.access(0x10000, 0, source="main", write=True)
+        assert h.dram_accesses("main") == 1
+
+    def test_prefetch_to_cached_line_is_cheap(self):
+        h = MemoryHierarchy(MemoryConfig.scaled())
+        first = h.access(0x10000, 0)
+        h.access(0x10000, first.ready + 1, source="runahead", prefetch=True)
+        assert h.stats.prefetch_already_cached == 1
+        assert h.dram_accesses("runahead") == 0
+
+
+class TestSwpfAcrossSuite:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_transform_is_safe_on_every_kernel(self, name):
+        """Whether or not the pass applies, it must preserve semantics."""
+        wl = build_workload(name, size="tiny")
+        transformed = insert_software_prefetches(wl.program)
+        ref = build_workload(name, size="tiny")
+        FunctionalCore(ref.program, ref.memory).run_to_completion(5_000_000)
+        FunctionalCore(transformed, wl.memory).run_to_completion(5_000_000)
+        for seg in ref.memory.segments():
+            assert np.array_equal(wl.memory.segment(seg.name).data, seg.data)
+
+    def test_applies_to_plain_indirect_kernels(self):
+        applied = []
+        for name in WORKLOAD_NAMES:
+            wl = build_workload(name, size="tiny")
+            if len(insert_software_prefetches(wl.program)) > len(wl.program):
+                applied.append(name)
+        # The linear-indirection kernels are transformable...
+        for name in ("nas_is", "kangaroo", "random_access", "bfs", "cc"):
+            assert name in applied
+        # ...the hash-chain ones are not (hash breaks the idiom).
+        assert "camel" not in applied
+        assert "hj2" not in applied

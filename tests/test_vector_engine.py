@@ -1,0 +1,297 @@
+"""Tests for the timed vector-chain executor (VIR/VRAT/gather model)."""
+
+import numpy as np
+import pytest
+
+from repro.config import MemoryConfig
+from repro.isa import ProgramBuilder
+from repro.memory import MemoryHierarchy, MemoryImage
+from repro.runahead.reconvergence import ReconvergenceStack
+from repro.runahead.vector_engine import VectorChainRun
+
+
+def chain_setup(n=512, seed=1):
+    """A[i] striding -> B[A[i]] indirect, as static code."""
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    a = mem.allocate("A", rng.integers(0, n, n))
+    bseg = mem.allocate("B", rng.integers(0, 1 << 20, n))
+    b = ProgramBuilder()
+    b.label("loop")
+    b.load("r4", "r3")          # 0: A[i]   <- trigger (r3 holds address)
+    b.shli("r5", "r4", 3)       # 1
+    b.add("r5", "r6", "r5")     # 2: r6 = B base
+    b.load("r7", "r5")          # 3: B[A[i]]  (FLR)
+    b.addi("r3", "r3", 8)       # 4
+    b.jmp("loop")               # 5
+    program = b.build()
+    hierarchy = MemoryHierarchy(MemoryConfig.scaled())
+    regs = [0] * 32
+    regs[3] = a.base
+    regs[6] = bseg.base
+    return program, mem, hierarchy, regs, a, bseg
+
+
+def make_run(program, mem, hierarchy, regs, lane_addresses, **kwargs):
+    defaults = dict(
+        start_pc=0,
+        start_cycle=0,
+        end_pc=3,
+        execute_end_pc=True,
+        stop_pcs=(0,),
+        vector_width=8,
+        timeout=200,
+    )
+    defaults.update(kwargs)
+    return VectorChainRun(
+        program, mem, hierarchy, regs, lane_addresses=lane_addresses, **defaults
+    )
+
+
+class TestBasicChain:
+    def test_prefetches_both_levels(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(16)]
+        run = make_run(program, mem, hierarchy, regs, lanes)
+        run.run_to_completion()
+        assert run.finished
+        # 16 A-element accesses + 16 B-element accesses.
+        assert run.prefetches == 32
+
+    def test_indirect_addresses_are_correct(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(8)]
+        run = make_run(program, mem, hierarchy, regs, lanes)
+        run.run_to_completion()
+        # The B-level lines prefetched must match B[A[i]] functionally.
+        expected_lines = set()
+        for l in range(8):
+            idx = mem.read_word(a.base + 8 * (l + 1))
+            expected_lines.add(hierarchy.line_of(bseg.base + 8 * idx))
+        for line in expected_lines:
+            assert hierarchy.l1.contains(line, 1 << 60)
+
+    def test_second_level_waits_for_first(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(8)]
+        run = make_run(program, mem, hierarchy, regs, lanes)
+        run.run_to_completion()
+        # One DRAM round trip for level 1 data before level 2 issues.
+        assert run.finish_time >= hierarchy.dram.latency
+
+    def test_lane_count_zero_is_noop(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        run = make_run(program, mem, hierarchy, regs, [])
+        run.run_to_completion()
+        assert run.finished and run.prefetches == 0
+
+    def test_vector_copies_chunked_by_width(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(16)]
+        run = make_run(program, mem, hierarchy, regs, lanes, vector_width=8)
+        run.run_to_completion()
+        # 16 lanes / 8-wide = 2 copies per vector instruction.
+        assert run.copies_issued >= 2 * 2  # at least both loads chunked
+
+    def test_stop_at_stride_pc_revisit(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(8)]
+        run = make_run(program, mem, hierarchy, regs, lanes, end_pc=None)
+        run.run_to_completion()
+        # Without an FLR endpoint the loop-back to pc 0 terminates it.
+        assert run.finished
+        assert run.instructions < 20
+
+    def test_timeout_bounds_execution(self):
+        b = ProgramBuilder()
+        b.load("r4", "r3")
+        b.label("spin")
+        b.addi("r5", "r4", 1)
+        b.jmp("spin")
+        program = b.build()
+        mem = MemoryImage()
+        seg = mem.allocate("A", list(range(64)))
+        hierarchy = MemoryHierarchy(MemoryConfig.scaled())
+        regs = [0] * 32
+        regs[3] = seg.base
+        run = make_run(
+            program, mem, hierarchy, regs, [seg.base + 8], end_pc=None, timeout=50
+        )
+        run.run_to_completion()
+        assert run.finished
+
+    def test_incremental_advance(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(16)]
+        run = make_run(program, mem, hierarchy, regs, lanes)
+        run.advance_to(1)
+        mid_prefetches = run.prefetches
+        assert not run.finished
+        run.advance_to(1 << 60)
+        assert run.finished
+        assert run.prefetches >= mid_prefetches
+
+    def test_unmapped_lane_invalidated(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        lanes = [a.base + 8, -999]
+        run = make_run(program, mem, hierarchy, regs, lanes)
+        run.run_to_completion()
+        assert run.lanes_invalidated >= 1
+
+
+def divergent_setup(n=256, seed=2):
+    """Per-lane branch: lanes with odd A values take a different path."""
+    rng = np.random.default_rng(seed)
+    mem = MemoryImage()
+    a = mem.allocate("A", rng.integers(0, 2, n))  # 0/1 flags
+    bseg = mem.allocate("B", rng.integers(0, 1 << 20, n))
+    c = mem.allocate("C", rng.integers(0, 1 << 20, n))
+    b = ProgramBuilder()
+    b.load("r4", "r3")          # 0: flag = A[i]  <- trigger
+    b.shli("r5", "r4", 3)       # 1: per-lane offset
+    b.bnz("r4", "odd")          # 2
+    b.add("r6", "r8", "r5")     # 3: B path (r8 = B base)
+    b.load("r7", "r6")          # 4
+    b.jmp("join")               # 5
+    b.label("odd")
+    b.add("r6", "r9", "r5")     # 6: C path (r9 = C base)
+    b.load("r7", "r6")          # 7
+    b.label("join")
+    b.addi("r3", "r3", 8)       # 8
+    b.jmp("end")                # 9
+    b.label("end")
+    b.halt()
+    program = b.build()
+    hierarchy = MemoryHierarchy(MemoryConfig.scaled())
+    regs = [0] * 32
+    regs[3] = a.base
+    regs[8] = bseg.base
+    regs[9] = c.base
+    return program, mem, hierarchy, regs, a
+
+
+class TestDivergence:
+    def _lane_flags(self, mem, a, lanes):
+        return [mem.read_word(addr) for addr in lanes]
+
+    def test_mask_off_invalidates_minority(self):
+        program, mem, hierarchy, regs, a = divergent_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(16)]
+        flags = self._lane_flags(mem, a, lanes)
+        run = make_run(
+            program, mem, hierarchy, regs, lanes, end_pc=None, reconvergence=None
+        )
+        run.run_to_completion()
+        # Lanes disagreeing with lane 0 are invalidated (VR semantics).
+        minority = sum(1 for f in flags if f != flags[0])
+        assert run.lanes_invalidated >= minority
+
+    def test_reconvergence_follows_both_paths(self):
+        program, mem, hierarchy, regs, a = divergent_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(16)]
+        flags = self._lane_flags(mem, a, lanes)
+        assert 0 < sum(flags) < 16  # genuinely divergent
+        stack = ReconvergenceStack(8)
+        run = make_run(
+            program, mem, hierarchy, regs, lanes, end_pc=None, reconvergence=stack
+        )
+        run.run_to_completion()
+        # Every lane issued its trigger load AND its per-path load.
+        assert run.prefetches == 16 + 16
+        assert run.lanes_invalidated == 0
+        assert stack.max_depth_seen >= 1
+
+    def test_uniform_branch_no_divergence(self):
+        program, mem, hierarchy, regs, a = divergent_setup()
+        # Pick only even-flag lanes.
+        lanes = []
+        addr = a.base
+        while len(lanes) < 8:
+            addr += 8
+            if mem.read_word(addr) == 0:
+                lanes.append(addr)
+        stack = ReconvergenceStack(8)
+        run = make_run(
+            program, mem, hierarchy, regs, lanes, end_pc=None, reconvergence=stack
+        )
+        run.run_to_completion()
+        assert stack.max_depth_seen == 0
+
+
+class TestEndStateCapture:
+    def test_captures_per_lane_registers(self):
+        program, mem, hierarchy, regs, a, bseg = chain_setup()
+        lanes = [a.base + 8 * (l + 1) for l in range(4)]
+        run = make_run(
+            program,
+            mem,
+            hierarchy,
+            regs,
+            lanes,
+            end_pc=3,
+            execute_end_pc=False,
+            capture_end_states=True,
+        )
+        run.run_to_completion()
+        assert sorted(run.end_states) == [0, 1, 2, 3]
+        for lane, state in run.end_states.items():
+            idx = mem.read_word(lanes[lane])
+            assert state[5] == bseg.base + 8 * idx  # r5 = &B[A[i]]
+
+
+class TestSecondaryStride:
+    def test_lockstep_array_vectorised_by_own_stride(self):
+        rng = np.random.default_rng(3)
+        mem = MemoryImage()
+        a = mem.allocate("A", rng.integers(0, 256, 256))
+        w = mem.allocate("W", rng.integers(0, 256, 256))
+        b = ProgramBuilder()
+        b.load("r4", "r3")   # 0: A[i] trigger
+        b.load("r5", "r10")  # 1: W[i] — independent but striding
+        b.add("r6", "r4", "r5")
+        b.jmp("out")
+        b.label("out")
+        b.halt()
+        program = b.build()
+        hierarchy = MemoryHierarchy(MemoryConfig.scaled())
+        regs = [0] * 32
+        regs[3] = a.base
+        regs[10] = w.base
+        lanes = [a.base + 8 * (l + 1) for l in range(8)]
+        run = make_run(
+            program,
+            mem,
+            hierarchy,
+            regs,
+            lanes,
+            end_pc=None,
+            stride_map={1: 8},
+        )
+        run.run_to_completion()
+        # W accesses issued for future iterations, not just W[i].
+        line = hierarchy.line_of(w.base + 8 * 8)
+        assert hierarchy.l1.contains(line, 1 << 60)
+
+    def test_scalar_run_exhaustion_terminates(self):
+        mem = MemoryImage()
+        a = mem.allocate("A", list(range(128)))
+        b = ProgramBuilder()
+        b.load("r4", "r3")  # trigger
+        for _ in range(40):
+            b.addi("r5", "r5", 1)  # long scalar tail
+        b.halt()
+        program = b.build()
+        hierarchy = MemoryHierarchy(MemoryConfig.scaled())
+        regs = [0] * 32
+        regs[3] = a.base
+        run = make_run(
+            program,
+            mem,
+            hierarchy,
+            regs,
+            [a.base + 8],
+            end_pc=None,
+            max_scalar_run=8,
+        )
+        run.run_to_completion()
+        assert run.instructions < 20
