@@ -18,6 +18,7 @@ Usage::
 import sys
 
 from repro import run_simulation
+from repro.observability import subtree
 
 _args = sys.argv[1:]
 WORKLOAD = _args[0] if _args and not _args[0].isdigit() else "graph500"
@@ -32,17 +33,31 @@ def bar(fraction: float) -> str:
     return "#" * max(0, round(fraction * BAR_WIDTH))
 
 
+def stack_from_counters(result) -> dict:
+    """CPI stack read back from the observability counter registry:
+    ``core.cpi_stack.<bucket>`` holds the cycles charged to each bucket."""
+    instructions = max(1.0, result.counters.get("core.commit.instructions", 1.0))
+    return {
+        bucket: cycles / instructions
+        for bucket, cycles in subtree(result.counters, "core.cpi_stack").items()
+    }
+
+
 def main() -> None:
     results = {
         tech: run_simulation(WORKLOAD, tech, max_instructions=INSTRUCTIONS)
         for tech in TECHNIQUES
     }
     buckets = sorted(
-        {bucket for result in results.values() for bucket in result.cpi_stack()}
+        {
+            bucket
+            for result in results.values()
+            for bucket in stack_from_counters(result)
+        }
     )
     print(f"{WORKLOAD}: CPI stacks ({INSTRUCTIONS} instructions per run)\n")
     for tech, result in results.items():
-        stack = result.cpi_stack()
+        stack = stack_from_counters(result)
         cpi = sum(stack.values())
         print(f"{tech:8s} CPI {cpi:5.2f}  IPC {result.ipc:5.2f}")
         for bucket in buckets:

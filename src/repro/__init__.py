@@ -32,6 +32,15 @@ from .errors import ReproError
 from .experiments import run_simulation
 from .isa import Instruction, Opcode, Program, ProgramBuilder
 from .memory import MemoryHierarchy, MemoryImage
+from .observability import (
+    CounterRegistry,
+    EventTrace,
+    Observability,
+    STATS_SCHEMA,
+    stats_payload,
+    validate_stats,
+    write_stats,
+)
 from .techniques import make_technique, technique_names
 from .workloads import WORKLOAD_NAMES, Workload, build_workload, make_graph
 
@@ -39,7 +48,11 @@ __all__ = [
     "BranchPredictorConfig",
     "CacheConfig",
     "CoreConfig",
+    "CounterRegistry",
     "DynInstr",
+    "EventTrace",
+    "Observability",
+    "STATS_SCHEMA",
     "FunctionalCore",
     "Instruction",
     "MemoryConfig",
@@ -59,6 +72,9 @@ __all__ = [
     "make_graph",
     "make_technique",
     "run_simulation",
+    "stats_payload",
     "technique_names",
+    "validate_stats",
+    "write_stats",
     "__version__",
 ]

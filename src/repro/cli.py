@@ -69,6 +69,28 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--cpi", action="store_true", help="print the CPI-stack breakdown"
     )
+    run_p.add_argument(
+        "--counters", action="store_true",
+        help="print the full hierarchical counter registry",
+    )
+    run_p.add_argument(
+        "--stats-out", metavar="FILE", default=None,
+        help="write a repro.stats/1 JSON stats document",
+    )
+    run_p.add_argument(
+        "--trace", action="store_true",
+        help="record the structured event trace (fetch/issue/complete/retire"
+        " plus runahead events) and report its digest",
+    )
+    run_p.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the traced events (implies --trace; .csv for CSV,"
+        " anything else JSONL)",
+    )
+    run_p.add_argument(
+        "--trace-capacity", type=int, default=65_536,
+        help="event ring-buffer capacity (digest covers all events)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("name", choices=sorted(_FIGURES))
@@ -131,11 +153,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("tables: " + " ".join(sorted(_TABLES)))
         return 0
     if args.command == "run":
+        from .observability import Observability, write_stats
+
+        obs = None
+        if args.trace or args.trace_out or args.stats_out or args.counters:
+            obs = Observability(
+                trace=bool(args.trace or args.trace_out),
+                trace_capacity=args.trace_capacity,
+            )
         result = run_simulation(
             args.workload,
             args.technique,
             max_instructions=args.instructions,
             input_name=args.input,
+            observability=obs,
         )
         print(f"workload     : {result.workload}")
         print(f"technique    : {result.technique}")
@@ -157,6 +188,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("technique    :")
             for key, value in sorted(result.technique_stats.items()):
                 print(f"  {key} = {value:.0f}")
+        if result.trace_digest is not None:
+            print(f"trace        : {result.trace_events} events, digest {result.trace_digest}")
+        if args.counters:
+            print("counters     :")
+            for name, value in sorted(result.counters.items()):
+                print(f"  {name} = {value:g}")
+        if args.trace_out and obs is not None and obs.trace is not None:
+            if args.trace_out.endswith(".csv"):
+                written = obs.trace.write_csv(args.trace_out)
+            else:
+                written = obs.trace.write_jsonl(args.trace_out)
+            print(f"trace file   : {args.trace_out} ({written} events)")
+        if args.stats_out:
+            write_stats(result, args.stats_out)
+            print(f"stats file   : {args.stats_out}")
         return 0
     if args.command == "figure":
         generator = _FIGURES[args.name]

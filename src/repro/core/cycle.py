@@ -26,9 +26,19 @@ from ..isa.instructions import NUM_REGS, Opcode
 from ..isa.program import Program
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.memory_image import MemoryImage
+from ..observability.counters import CounterRegistry
+from ..observability.probes import Observability
+from ..observability.trace import EV_COMPLETE, EV_FETCH, EV_ISSUE, EV_RETIRE
 from ..prefetch.stride import StridePrefetcher
 from .functional import FunctionalCore
-from .ooo import _FU_DIV, _FU_MEM, _OP_CLASS, _FU_INT, SimulationResult
+from .ooo import (
+    _FU_DIV,
+    _FU_MEM,
+    _OP_CLASS,
+    _FU_INT,
+    SimulationResult,
+    publish_core_counters,
+)
 
 _WAITING = 0
 _READY = 1
@@ -66,7 +76,9 @@ class CycleCore:
         memory_image: MemoryImage,
         config: Optional[SimConfig] = None,
         workload_name: str = "workload",
+        observability: Optional[Observability] = None,
     ) -> None:
+        self.observability = observability
         self.config = config or SimConfig()
         self.program = program
         self.memory_image = memory_image
@@ -126,12 +138,18 @@ class CycleCore:
         stall_cycles = 0
         done_fetching = False
         max_cycles = 400 * limit + 100_000  # runaway guard
+        obs = self.observability
+        event_trace = obs.trace if obs is not None else None
 
         while committed < limit and cycle < max_cycles:
             # ---- commit (oldest first, up to width) ----
             commits = 0
             while rob and commits < width and rob[0].state == _DONE:
                 entry = rob.popleft()
+                if event_trace is not None:
+                    event_trace.emit(
+                        cycle, EV_RETIRE, entry.dyn.pc, entry.dyn.instr.opcode.value
+                    )
                 if entry.dyn.instr.is_load:
                     lq_occupancy -= 1
                 elif entry.dyn.instr.is_store:
@@ -145,6 +163,10 @@ class CycleCore:
             for entry in rob:
                 if entry.state == _ISSUED and entry.complete_cycle <= cycle:
                     entry.state = _DONE
+                    if event_trace is not None:
+                        event_trace.emit(
+                            cycle, EV_COMPLETE, entry.dyn.pc, entry.dyn.instr.opcode.value
+                        )
                     for waiter in consumers.pop(id(entry), []):
                         waiter.deps.discard(id(entry))
                         if not waiter.deps and waiter.state == _WAITING:
@@ -194,6 +216,8 @@ class CycleCore:
                     if cls == _FU_DIV:
                         div_busy_until = cycle + fu_latency[cls]
                 entry.state = _ISSUED
+                if event_trace is not None:
+                    event_trace.emit(cycle, EV_ISSUE, entry.dyn.pc, op.value)
                 if entry.in_iq:
                     entry.in_iq = False
                     iq_occupancy -= 1
@@ -251,6 +275,8 @@ class CycleCore:
                     fetched += 1
                     fetch_pipe.append((dyn, cycle + cfg.frontend_stages))
                     instr = dyn.instr
+                    if event_trace is not None:
+                        event_trace.emit(cycle, EV_FETCH, dyn.pc, instr.opcode.value)
                     if instr.is_conditional_branch:
                         predicted = self.predictor.predict(dyn.pc)
                         self.predictor.update(dyn.pc, dyn.taken, predicted)
@@ -284,6 +310,20 @@ class CycleCore:
         self.hierarchy.finalize_timeliness()
         cycles = max(1, cycle)
         stats = self.hierarchy.stats
+        registry = obs.counters if obs is not None else CounterRegistry()
+        publish_core_counters(
+            registry,
+            cycles=cycles,
+            fetched=fetched,
+            committed=committed,
+            full_stall=0,
+            episodes=0,
+            commit_blocked=0,
+            predictions=self.predictor.predictions,
+            mispredictions=self.predictor.mispredictions,
+            buckets={},
+        )
+        self.hierarchy.publish_counters(registry, cycles=cycles)
         return SimulationResult(
             workload=self.workload_name,
             technique="ooo-cycle",
@@ -301,4 +341,7 @@ class CycleCore:
             timeliness=dict(stats.timeliness),
             mean_mshr_occupancy=self.hierarchy.mean_mshr_occupancy(cycles),
             technique_stats={},
+            counters=registry.snapshot(),
+            trace_digest=event_trace.digest() if event_trace is not None else None,
+            trace_events=event_trace.emitted if event_trace is not None else 0,
         )

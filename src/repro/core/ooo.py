@@ -31,8 +31,22 @@ from ..errors import SimulationError
 from ..frontend.branch_predictor import TageLitePredictor
 from ..isa.instructions import NUM_REGS, Opcode
 from ..isa.program import Program
-from ..memory.hierarchy import LEVEL_DRAM, LEVEL_L1, LEVEL_MSHR, MemoryHierarchy
+from ..memory.hierarchy import (
+    LEVEL_DRAM,
+    LEVEL_L1,
+    LEVEL_MSHR,
+    HierarchyStats,
+    MemoryHierarchy,
+)
 from ..memory.memory_image import MemoryImage
+from ..observability.counters import CounterRegistry
+from ..observability.probes import Observability
+from ..observability.trace import (
+    EV_COMPLETE,
+    EV_FETCH,
+    EV_ISSUE,
+    EV_RETIRE,
+)
 from ..prefetch.base import NullTechnique, Technique
 from ..prefetch.stride import StridePrefetcher
 from .functional import FunctionalCore
@@ -63,6 +77,32 @@ _MEM_BUCKETS = {
     "L3": "mem_l3",
     "DRAM": "mem_dram",
 }
+
+def publish_core_counters(
+    registry: CounterRegistry,
+    *,
+    cycles: int,
+    fetched: int,
+    committed: int,
+    full_stall: int,
+    episodes: int,
+    commit_blocked: int,
+    predictions: int,
+    mispredictions: int,
+    buckets: Dict[str, int],
+) -> None:
+    """Publish the ``core.*`` counter family (shared with CycleCore)."""
+    registry.set("core.cycles", cycles)
+    registry.set("core.fetch.instructions", fetched)
+    registry.set("core.commit.instructions", committed)
+    registry.set("core.stall.full_rob_cycles", full_stall)
+    registry.set("core.stall.episodes", episodes)
+    registry.set("core.stall.commit_block_cycles", commit_blocked)
+    registry.set("core.branch.predictions", predictions)
+    registry.set("core.branch.mispredictions", mispredictions)
+    for bucket, value in buckets.items():
+        registry.set(f"core.cpi_stack.{bucket}", value)
+
 
 _OP_CLASS = {
     Opcode.MUL: _FU_MUL,
@@ -98,6 +138,12 @@ class SimulationResult:
     mean_mshr_occupancy: float
     technique_stats: Dict[str, float] = field(default_factory=dict)
     cycle_buckets: Dict[str, int] = field(default_factory=dict)
+    #: Full counter-registry snapshot (see docs/observability.md).
+    counters: Dict[str, float] = field(default_factory=dict)
+    #: Whole-stream event digest when tracing was enabled, else None.
+    trace_digest: Optional[str] = None
+    #: Events emitted over the run (including ring-evicted ones).
+    trace_events: int = 0
 
     def cpi_stack(self) -> Dict[str, float]:
         """Cycles-per-instruction attribution (Sniper-style CPI stack).
@@ -139,6 +185,9 @@ class SimulationResult:
             "llc_mpki": self.llc_mpki(),
             "cpi_stack": self.cpi_stack(),
             "technique_stats": dict(self.technique_stats),
+            "counters": dict(self.counters),
+            "trace_digest": self.trace_digest,
+            "trace_events": self.trace_events,
         }
 
     @property
@@ -171,6 +220,7 @@ class OoOCore:
         technique: Optional[Technique] = None,
         workload_name: str = "workload",
         trace_limit: int = 0,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.config = config or SimConfig()
         self.program = program
@@ -188,6 +238,11 @@ class OoOCore:
                 streams=self.config.stride_prefetcher_streams,
                 degree=self.config.stride_prefetcher_degree,
             )
+        #: Opt-in event tracing and profiling hooks; counters are
+        #: published into it (or into a fresh registry) at run end
+        #: regardless. Must be set before attach() so techniques can
+        #: bind the trace.
+        self.observability = observability
         self.technique.attach(self)
         self._ran = False
         #: When trace_limit > 0, per-instruction pipeline timestamps for
@@ -267,6 +322,31 @@ class OoOCore:
         warmup = max(0, self.config.warmup_instructions)
         warmup_snapshot = None
         i = 0
+
+        # Observability: event tracing and profiling hooks are opt-in;
+        # with neither attached the loop pays two predicate tests per
+        # instruction and nothing more.
+        obs = self.observability
+        event_trace = obs.trace if obs is not None else None
+        fire_hooks = obs is not None and obs.has_hooks
+
+        def publish_live(registry: CounterRegistry) -> None:
+            # Raw running aggregates for mid-run hook snapshots (final
+            # counters are ROI-adjusted; see the end of run()).
+            publish_core_counters(
+                registry,
+                cycles=max(1, prev_commit),
+                fetched=i,
+                committed=i,
+                full_stall=full_rob_stall_cycles,
+                episodes=stall_episodes,
+                commit_blocked=commit_block_cycles,
+                predictions=predictor.predictions,
+                mispredictions=predictor.mispredictions,
+                buckets=cpi_buckets,
+            )
+            hierarchy.publish_counters(registry)
+            technique.publish_counters(registry)
 
         while i < limit:
             dyn = self.functional.step()
@@ -457,8 +537,17 @@ class OoOCore:
                 self.trace.append(
                     (i, dyn.pc, op.name, fetch, dispatch, ready, issue, complete, commit)
                 )
+            if event_trace is not None:
+                pc = dyn.pc
+                opv = op.value
+                event_trace.emit(fetch, EV_FETCH, pc, opv)
+                event_trace.emit(issue, EV_ISSUE, pc, opv)
+                event_trace.emit(complete, EV_COMPLETE, pc, opv)
+                event_trace.emit(commit, EV_RETIRE, pc, opv)
             technique.on_commit(dyn, commit, complete)
             i += 1
+            if fire_hooks:
+                obs.maybe_fire(i, prev_commit, publish_live)
             if warmup and i == warmup:
                 warmup_snapshot = self._snapshot(
                     prev_commit,
@@ -502,6 +591,34 @@ class OoOCore:
             buckets = _dict_delta(buckets, snap["cpi_buckets"])
         # Everything not attributed above flowed at full width.
         buckets["base"] = max(0, cycles - sum(buckets.values()))
+        # Publish the final (ROI-adjusted) counters into the registry —
+        # every component registers its family under its own prefix.
+        registry = obs.counters if obs is not None else CounterRegistry()
+        publish_core_counters(
+            registry,
+            cycles=cycles,
+            fetched=instructions,
+            committed=instructions,
+            full_stall=full_stall,
+            episodes=episodes,
+            commit_blocked=commit_blocked,
+            predictions=predictions,
+            mispredictions=mispredictions,
+            buckets=buckets,
+        )
+        hierarchy.publish_counters(
+            registry,
+            cycles=max(1, prev_commit),
+            stats=HierarchyStats(
+                demand_loads=demand_loads,
+                demand_level_counts=level_counts,
+                dram_by_source=dram,
+                prefetches_by_source=prefetches,
+                prefetch_already_cached=stats.prefetch_already_cached,
+                timeliness=timeliness,
+            ),
+        )
+        self.technique.publish_counters(registry)
         return SimulationResult(
             workload=self.workload_name,
             technique=self.technique.name,
@@ -520,6 +637,9 @@ class OoOCore:
             mean_mshr_occupancy=hierarchy.mean_mshr_occupancy(max(1, prev_commit)),
             technique_stats=self.technique.stats(),
             cycle_buckets=buckets,
+            counters=registry.snapshot(),
+            trace_digest=event_trace.digest() if event_trace is not None else None,
+            trace_events=event_trace.emitted if event_trace is not None else 0,
         )
 
     def _snapshot(

@@ -12,9 +12,18 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..config import CoreConfig, SimConfig
+from ..observability import subtree
 from ..workloads import GAP_WORKLOADS, HPC_DB_WORKLOADS, WORKLOAD_NAMES
 from .report import ExperimentResult, harmonic_mean
 from .runner import run_simulation
+
+
+def _stall_fraction(result) -> float:
+    """Backend-full stall share, read from the counter registry."""
+    counters = result.counters
+    return counters.get("core.stall.full_rob_cycles", 0.0) / max(
+        1.0, counters.get("core.cycles", 1.0)
+    )
 
 # The paper's ROB sweep points (Figures 2 and 12).
 ROB_SIZES = [128, 192, 224, 350, 512]
@@ -71,12 +80,11 @@ def figure2(
             vr = run_simulation(name, "vr", cfg, max_instructions=instructions)
             norm_ooo = ooo.ipc / baseline.ipc
             norm_vr = vr.ipc / baseline.ipc
+            stall = _stall_fraction(ooo)
             series[name]["ooo"][rob] = norm_ooo
             series[name]["vr"][rob] = norm_vr
-            series[name]["stall"][rob] = ooo.full_rob_stall_fraction
-            rows.append(
-                [name, rob, norm_ooo, norm_vr, 100.0 * ooo.full_rob_stall_fraction]
-            )
+            series[name]["stall"][rob] = stall
+            rows.append([name, rob, norm_ooo, norm_vr, 100.0 * stall])
     return ExperimentResult(
         "figure2",
         "OoO & VR vs ROB size (normalised to OoO@350) and backend-full stall time",
@@ -179,7 +187,7 @@ def figure9(
         row: List = [name]
         for tech in ("ooo", "vr", "dvr"):
             result = run_simulation(name, tech, max_instructions=instructions)
-            row.append(result.mean_mshr_occupancy)
+            row.append(result.counters.get("mem.mshr.mean_occupancy", 0.0))
         rows.append(row)
     avg = ["mean"] + [
         sum(r[i] for r in rows) / len(rows) for i in range(1, 4)
@@ -204,13 +212,12 @@ def figure10(
     rows: List[List] = []
     for name in workloads:
         baseline = run_simulation(name, "ooo", max_instructions=instructions)
-        base_dram = max(1, baseline.dram_accesses)
+        base_dram = max(1, sum(subtree(baseline.counters, "mem.dram.accesses").values()))
         for tech in ("vr", "dvr"):
             result = run_simulation(name, tech, max_instructions=instructions)
-            main = result.dram_by_source.get("main", 0) + result.dram_by_source.get(
-                "prefetcher", 0
-            )
-            runahead = result.dram_by_source.get("runahead", 0)
+            dram = subtree(result.counters, "mem.dram.accesses")
+            main = dram.get("main", 0) + dram.get("prefetcher", 0)
+            runahead = dram.get("runahead", 0)
             rows.append(
                 [
                     f"{name}/{tech}",
@@ -242,7 +249,7 @@ def figure11(
     rows: List[List] = []
     for name in workloads:
         result = run_simulation(name, "dvr", max_instructions=instructions)
-        timeliness = result.timeliness
+        timeliness = subtree(result.counters, "mem.prefetch.timeliness")
         demanded = sum(
             timeliness.get(k, 0) for k in ("L1", "L2", "L3", "Off-chip")
         )

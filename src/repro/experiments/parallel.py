@@ -22,6 +22,7 @@ import multiprocessing
 from typing import Dict, List, Optional, Sequence
 
 from ..core.ooo import SimulationResult
+from ..errors import ReproError
 from .runner import run_simulation
 
 
@@ -38,6 +39,12 @@ def run_batch(
     ``jobs=None`` or ``jobs=1`` runs serially (no subprocess overhead —
     the right choice for small batches and inside test suites).
     """
+    if jobs is not None and (
+        isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1
+    ):
+        raise ReproError(
+            f"run_batch jobs must be None or a positive integer, got {jobs!r}"
+        )
     specs = list(specs)
     if jobs is None or jobs <= 1 or len(specs) <= 1:
         return [run_simulation(**spec) for spec in specs]

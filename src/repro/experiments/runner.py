@@ -7,6 +7,7 @@ from typing import Optional
 from ..config import SimConfig
 from ..core.ooo import OoOCore, SimulationResult
 from ..isa.swpf import insert_software_prefetches
+from ..observability import Observability
 from ..techniques import make_technique
 from ..workloads import build_workload
 
@@ -23,6 +24,9 @@ def run_simulation(
     input_name: Optional[str] = None,
     size: str = "default",
     seed: Optional[int] = None,
+    trace: bool = False,
+    trace_capacity: int = 65_536,
+    observability: Optional[Observability] = None,
 ) -> SimulationResult:
     """Build a fresh workload and simulate it under one technique.
 
@@ -30,6 +34,13 @@ def run_simulation(
     (ignored by the hpc-db set). ``seed`` re-rolls the workload's input
     data (for multi-seed experiments). ``max_instructions`` overrides
     the config's region length.
+
+    ``trace=True`` records the structured event stream (fetch / issue /
+    complete / retire plus runahead and vector-dispatch events) into a
+    ring buffer of ``trace_capacity`` events; the result then carries a
+    stable whole-stream digest (``trace_digest``). Callers that need the
+    trace contents or profiling hooks pass a pre-built ``observability``
+    facade instead, which takes precedence.
     """
     kwargs = {"size": size}
     if input_name is not None:
@@ -53,12 +64,16 @@ def run_simulation(
         core_technique = make_technique("ooo")
     else:
         core_technique = make_technique(technique)
+    obs = observability
+    if obs is None and trace:
+        obs = Observability(trace=True, trace_capacity=trace_capacity)
     core = OoOCore(
         program,
         wl.memory,
         cfg,
         technique=core_technique,
         workload_name=wl.name if input_name is None else f"{wl.name}_{input_name}",
+        observability=obs,
     )
     result = core.run()
     if technique == SOFTWARE_PREFETCH:

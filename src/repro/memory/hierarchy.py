@@ -221,6 +221,43 @@ class MemoryHierarchy:
 
     # -- reporting -------------------------------------------------------------
 
+    def publish_counters(
+        self,
+        registry,
+        cycles: Optional[int] = None,
+        stats: Optional[HierarchyStats] = None,
+    ) -> None:
+        """Register the ``mem.*`` counter family into ``registry``.
+
+        ``stats`` lets the core substitute ROI-adjusted aggregates for
+        the raw whole-run ones; ``cycles`` (the run length) enables the
+        derived mean-MSHR-occupancy gauge, which is only meaningful at
+        run end. The MSHR-file totals are always whole-run.
+        """
+        s = stats if stats is not None else self.stats
+        levels = s.demand_level_counts
+        l1 = levels.get(LEVEL_L1, 0)
+        merged = levels.get(LEVEL_MSHR, 0)
+        l2 = levels.get(LEVEL_L2, 0)
+        l3 = levels.get(LEVEL_L3, 0)
+        dram = levels.get(LEVEL_DRAM, 0)
+        registry.set("mem.demand.loads", s.demand_loads)
+        registry.set("mem.l1.hits", l1)
+        registry.set("mem.l1.misses", max(0, s.demand_loads - l1))
+        registry.set("mem.mshr.merges", merged)
+        registry.set("mem.l2.hits", l2)
+        registry.set("mem.l2.misses", l3 + dram)
+        registry.set("mem.l3.hits", l3)
+        registry.set("mem.l3.misses", dram)
+        registry.set_many(s.dram_by_source, prefix="mem.dram.accesses.")
+        registry.set_many(s.prefetches_by_source, prefix="mem.prefetch.issued.")
+        registry.set("mem.prefetch.already_cached", s.prefetch_already_cached)
+        registry.set_many(s.timeliness, prefix="mem.prefetch.timeliness.")
+        registry.set("mem.mshr.allocations", self.mshrs.total_allocations)
+        registry.set("mem.mshr.rejections", self.mshrs.rejected_requests)
+        if cycles is not None:
+            registry.set("mem.mshr.mean_occupancy", self.mean_mshr_occupancy(cycles))
+
     def dram_accesses(self, source: Optional[str] = None) -> int:
         if source is None:
             return sum(self.stats.dram_by_source.values())

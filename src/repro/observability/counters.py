@@ -1,0 +1,136 @@
+"""Hierarchical named counters (the simulator's statistics registry).
+
+Every run publishes its microarchitectural statistics into a
+:class:`CounterRegistry` under dotted hierarchical names::
+
+    core.commit.instructions      mem.l2.misses
+    core.stall.full_rob_cycles    runahead.dvr.spawns
+
+The registry is the single surface the experiment harness, the stats
+exporter, and the regression tests read from — components *publish*
+into it (usually in bulk, at interval boundaries and at run end, so the
+hot loop pays nothing) and consumers take :meth:`snapshot`\\ s.
+
+Names are validated once per counter: lowercase-ish dotted segments
+(``[A-Za-z0-9_-]``), at least two levels deep, so the namespace stays
+greppable and the exported JSON schema can pin a pattern.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, Tuple, Union
+
+from ..errors import ReproError
+
+Number = Union[int, float]
+
+#: One dotted counter name: two or more [A-Za-z0-9_-] segments.
+NAME_PATTERN = re.compile(r"^[A-Za-z0-9_\-]+(\.[A-Za-z0-9_\-]+)+$")
+
+
+class Counter:
+    """One named statistic. Cheap: a name and a number."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: Number = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class CounterRegistry:
+    """A flat store of :class:`Counter` objects keyed by dotted name.
+
+    ``counter(name)`` creates on first use, so components can register
+    their counters lazily; ``snapshot()`` returns a plain sorted dict
+    safe to pickle, diff, and serialise.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+
+    # -- registration / update ----------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it if needed."""
+        counter = self._counters.get(name)
+        if counter is None:
+            if not NAME_PATTERN.match(name):
+                raise ReproError(
+                    f"invalid counter name {name!r}: use dotted segments "
+                    "of [A-Za-z0-9_-], at least two levels deep"
+                )
+            counter = Counter(name)
+            self._counters[name] = counter
+        return counter
+
+    def inc(self, name: str, amount: Number = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set(self, name: str, value: Number) -> None:
+        """Publish an externally maintained aggregate (idempotent)."""
+        self.counter(name).set(value)
+
+    def set_many(self, values: Dict[str, Number], prefix: str = "") -> None:
+        """Bulk publish: ``{suffix: value}`` under an optional prefix."""
+        for key, value in values.items():
+            self.set(prefix + key if prefix else key, value)
+
+    # -- reading --------------------------------------------------------------
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else default
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+    def __iter__(self) -> Iterator[Tuple[str, Number]]:
+        for name in sorted(self._counters):
+            yield name, self._counters[name].value
+
+    def snapshot(self) -> Dict[str, Number]:
+        """Sorted plain-dict copy of every counter's current value."""
+        return {name: self._counters[name].value for name in sorted(self._counters)}
+
+    def subtree(self, prefix: str) -> Dict[str, Number]:
+        """Counters under ``prefix.``, with the prefix stripped."""
+        return subtree(self.snapshot(), prefix)
+
+    def as_tree(self) -> Dict:
+        """Nested-dict view of the hierarchy (for pretty-printing)."""
+        tree: Dict = {}
+        for name, value in self:
+            node = tree
+            parts = name.split(".")
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+                if not isinstance(node, dict):  # pragma: no cover - name clash
+                    raise ReproError(f"counter {name!r} clashes with a leaf")
+            node[parts[-1]] = value
+        return tree
+
+
+def subtree(counters: Dict[str, Number], prefix: str) -> Dict[str, Number]:
+    """Select ``prefix.``-rooted entries from a snapshot, prefix stripped.
+
+    Works on plain snapshot dicts (e.g. ``SimulationResult.counters``),
+    so figure generators can slice a family of counters in one call.
+    """
+    if not prefix.endswith("."):
+        prefix = prefix + "."
+    n = len(prefix)
+    return {name[n:]: value for name, value in counters.items() if name.startswith(prefix)}

@@ -1,0 +1,109 @@
+"""The :class:`Observability` facade: counters + trace + profiling hooks.
+
+One ``Observability`` object is attached to one core for one run. It
+bundles
+
+* a :class:`~repro.observability.counters.CounterRegistry` the pipeline
+  publishes into,
+* an optional :class:`~repro.observability.trace.EventTrace` (tracing
+  is opt-in: with no trace attached the core's hot loop skips event
+  emission entirely), and
+* **profiling hooks**: ``on_cycle(interval, fn)`` fires whenever the
+  commit clock crosses an ``interval``-cycle boundary and
+  ``on_interval(n, fn)`` fires every ``n`` retired instructions. Before
+  the callbacks run, the core publishes its live counter values, so a
+  hook sees a consistent mid-run snapshot. ``sample_every(n)`` is the
+  common case pre-packaged: it appends ``(cycle, snapshot)`` pairs to
+  :attr:`samples`.
+
+Zero-cost-when-disabled contract: constructing a core **without** an
+``Observability`` (the default) adds no per-instruction work beyond a
+single predicate test; counters are still published once, at run end,
+so every :class:`SimulationResult` carries a full registry snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .counters import CounterRegistry, Number
+from .trace import EventTrace
+
+Hook = Callable[[int, CounterRegistry], None]
+
+
+class Observability:
+    """Per-run observability context (counters, trace, hooks)."""
+
+    def __init__(
+        self,
+        trace: bool = False,
+        trace_capacity: int = 65_536,
+    ) -> None:
+        self.counters = CounterRegistry()
+        self.trace: Optional[EventTrace] = (
+            EventTrace(capacity=trace_capacity) if trace else None
+        )
+        self._cycle_hooks: List[List] = []  # [interval, next_fire, fn]
+        self._instr_hooks: List[List] = []  # [interval, next_fire, fn]
+        #: (cycle, snapshot) pairs collected by :meth:`sample_every`.
+        self.samples: List[Tuple[int, Dict[str, Number]]] = []
+
+    # -- hook registration ----------------------------------------------------
+
+    def on_cycle(self, interval: int, fn: Hook) -> None:
+        """Run ``fn(cycle, counters)`` each time the commit clock passes
+        another ``interval`` cycles."""
+        if interval <= 0:
+            raise ValueError("cycle hook interval must be positive")
+        self._cycle_hooks.append([interval, interval, fn])
+
+    def on_interval(self, instructions: int, fn: Hook) -> None:
+        """Run ``fn(cycle, counters)`` every ``instructions`` retires."""
+        if instructions <= 0:
+            raise ValueError("instruction hook interval must be positive")
+        self._instr_hooks.append([instructions, instructions, fn])
+
+    def sample_every(self, instructions: int) -> None:
+        """Collect ``(cycle, counter-snapshot)`` pairs into :attr:`samples`."""
+
+        def _sample(cycle: int, counters: CounterRegistry) -> None:
+            self.samples.append((cycle, counters.snapshot()))
+
+        self.on_interval(instructions, _sample)
+
+    @property
+    def has_hooks(self) -> bool:
+        return bool(self._cycle_hooks or self._instr_hooks)
+
+    # -- firing (called by the core) -------------------------------------------
+
+    def maybe_fire(
+        self,
+        instructions: int,
+        cycle: int,
+        publish: Callable[[CounterRegistry], None],
+    ) -> None:
+        """Fire due hooks; ``publish`` refreshes the registry first.
+
+        The core calls this once per retired instruction (only when
+        hooks are registered). ``publish`` is invoked at most once per
+        call, and only if at least one hook is due.
+        """
+        due: List[Hook] = []
+        for hook in self._instr_hooks:
+            if instructions >= hook[1]:
+                due.append(hook[2])
+                interval = hook[0]
+                # Catch up in one step if the loop skipped boundaries.
+                hook[1] = instructions - (instructions % interval) + interval
+        for hook in self._cycle_hooks:
+            if cycle >= hook[1]:
+                due.append(hook[2])
+                interval = hook[0]
+                hook[1] = cycle - (cycle % interval) + interval
+        if not due:
+            return
+        publish(self.counters)
+        for fn in due:
+            fn(cycle, self.counters)

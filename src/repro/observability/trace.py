@@ -1,0 +1,148 @@
+"""Ring-buffered structured event tracing with a stable stream digest.
+
+The trace records the instruction lifecycle (``fetch`` / ``issue`` /
+``complete`` / ``retire``) and the runahead machinery's activity
+(``runahead_enter`` / ``runahead_exit`` / ``vector_dispatch``) as flat
+:class:`TraceEvent` records. Two properties matter:
+
+* **Bounded memory** — only the last ``capacity`` events are retained
+  (a ring buffer), so tracing a long run cannot blow up the heap.
+* **Whole-stream digest** — a BLAKE2b hash is folded over *every*
+  emitted event, retained or not, in emission order. The hex digest is
+  a compact fingerprint of the run's complete microarchitectural
+  behaviour: any timing change anywhere in the pipeline changes it.
+  The golden-trace regression suite pins these digests.
+
+Events are emitted in deterministic program/callback order (the
+simulator processes instructions in program order), so the digest is
+reproducible across runs, processes, and Python versions.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+from typing import IO, Iterator, List, NamedTuple, Union
+
+# Instruction lifecycle.
+EV_FETCH = "fetch"
+EV_ISSUE = "issue"
+EV_COMPLETE = "complete"
+EV_RETIRE = "retire"
+# Runahead machinery.
+EV_RUNAHEAD_ENTER = "runahead_enter"
+EV_RUNAHEAD_EXIT = "runahead_exit"
+EV_VECTOR_DISPATCH = "vector_dispatch"
+
+EVENT_KINDS = (
+    EV_FETCH,
+    EV_ISSUE,
+    EV_COMPLETE,
+    EV_RETIRE,
+    EV_RUNAHEAD_ENTER,
+    EV_RUNAHEAD_EXIT,
+    EV_VECTOR_DISPATCH,
+)
+
+#: Column order shared by the CSV exporter, the JSONL exporter, and the
+#: documented trace schema (docs/observability.md).
+TRACE_FIELDS = ("seq", "cycle", "kind", "pc", "info")
+
+
+class TraceEvent(NamedTuple):
+    """One event. ``info`` is a kind-specific integer payload:
+    the opcode ordinal for lifecycle events, the lane count for
+    ``vector_dispatch``, and 0 where nothing extra applies."""
+
+    seq: int
+    cycle: int
+    kind: str
+    pc: int
+    info: int
+
+
+class EventTrace:
+    """Append-only event stream: bounded retention, unbounded digest."""
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._ring: List[TraceEvent] = []
+        self._head = 0  # next overwrite position once the ring is full
+        self._seq = 0
+        self._hash = hashlib.blake2b(digest_size=16)
+
+    # -- emission (the hot path) ----------------------------------------------
+
+    def emit(self, cycle: int, kind: str, pc: int = 0, info: int = 0) -> None:
+        seq = self._seq
+        self._seq = seq + 1
+        self._hash.update(b"%d|%d|%s|%d|%d\n" % (seq, cycle, kind.encode(), pc, info))
+        event = TraceEvent(seq, cycle, kind, pc, info)
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(event)
+        else:
+            ring[self._head] = event
+            self._head = (self._head + 1) % self.capacity
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted over the stream (including evicted ones)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events no longer retained in the ring."""
+        return self._seq - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def events(self) -> Iterator[TraceEvent]:
+        """Retained events, oldest first."""
+        ring = self._ring
+        head = self._head
+        for i in range(len(ring)):
+            yield ring[(head + i) % len(ring)]
+
+    def digest(self) -> str:
+        """Stable hex digest over every event emitted so far."""
+        return self._hash.hexdigest()
+
+    # -- exporters -------------------------------------------------------------
+
+    def write_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write retained events as JSON Lines; returns the event count."""
+        return self._write(target, self._dump_jsonl)
+
+    def write_csv(self, target: Union[str, IO[str]]) -> int:
+        """Write retained events as CSV (with header); returns the count."""
+        return self._write(target, self._dump_csv)
+
+    def _write(self, target: Union[str, IO[str]], dump) -> int:
+        if isinstance(target, str):
+            with open(target, "w", newline="") as handle:
+                return dump(handle)
+        return dump(target)
+
+    def _dump_jsonl(self, handle: IO[str]) -> int:
+        count = 0
+        for event in self.events():
+            handle.write(json.dumps(event._asdict(), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+        return count
+
+    def _dump_csv(self, handle: IO[str]) -> int:
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_FIELDS)
+        count = 0
+        for event in self.events():
+            writer.writerow(event)
+            count += 1
+        return count

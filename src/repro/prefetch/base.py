@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..core.dyninstr import DynInstr
     from ..core.ooo import OoOCore
     from ..memory.hierarchy import AccessResult
+    from ..observability.counters import CounterRegistry
+    from ..observability.trace import EventTrace
 
 
 class Technique:
@@ -37,10 +39,29 @@ class Technique:
         self.commit_blocked_until = 0
         #: Classic runahead's exit flush: fetch may not resume before this.
         self.fetch_blocked_until = 0
+        #: Bound to the core's event trace at attach() when tracing is on.
+        self._trace: Optional["EventTrace"] = None
 
     def attach(self, core: "OoOCore") -> None:
         """Called once by the core before simulation starts."""
         self.core = core
+        obs = getattr(core, "observability", None)
+        self._trace = obs.trace if obs is not None else None
+
+    def emit_event(self, cycle: int, kind: str, pc: int = 0, info: int = 0) -> None:
+        """Record a runahead event (no-op unless tracing is enabled)."""
+        if self._trace is not None:
+            self._trace.emit(cycle, kind, pc, info)
+
+    def publish_counters(self, registry: "CounterRegistry") -> None:
+        """Register this technique's statistics under ``runahead.<name>.*``.
+
+        The whole family (runahead engines, prefetchers, the oracle)
+        shares the ``runahead`` namespace; the baseline has no stats and
+        publishes nothing.
+        """
+        for key, value in self.stats().items():
+            registry.set(f"runahead.{self.name}.{key}", value)
 
     # -- hooks (default: do nothing) ----------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..memory.hierarchy import LEVEL_DRAM, LEVEL_MSHR
+from ..observability.trace import EV_RUNAHEAD_ENTER, EV_RUNAHEAD_EXIT
 from ..prefetch.base import Technique
 from .interpreter import SpeculativeInterpreter
 from .shadow import ShadowState
@@ -38,6 +39,7 @@ class ClassicRunahead(Technique):
         if duration < self.min_stall_cycles:
             return
         self.triggers += 1
+        self.emit_event(start, EV_RUNAHEAD_ENTER, self.shadow.next_pc)
         config = self.core.config
         width = config.core.width
         hierarchy = self.core.hierarchy
@@ -80,6 +82,7 @@ class ClassicRunahead(Technique):
         # Exiting runahead flushes and refetches the pipeline.
         penalty = config.runahead.runahead_flush_penalty
         self.fetch_blocked_until = max(self.fetch_blocked_until, end + penalty)
+        self.emit_event(end + penalty, EV_RUNAHEAD_EXIT)
 
     def stats(self) -> Dict[str, float]:
         return {

@@ -35,6 +35,11 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from ..isa.instructions import NUM_REGS
+from ..observability.trace import (
+    EV_RUNAHEAD_ENTER,
+    EV_RUNAHEAD_EXIT,
+    EV_VECTOR_DISPATCH,
+)
 from ..prefetch.base import Technique
 from .interpreter import SpeculativeInterpreter
 from .loop_bounds import LoopBoundDetector
@@ -144,6 +149,7 @@ class DecoupledVectorRunahead(Technique):
             self.prefetches += run.prefetches
             self.subthread_instructions += run.instructions
             self.lanes_invalidated += run.lanes_invalidated
+            self.emit_event(run.finish_time, EV_RUNAHEAD_EXIT, run.start_pc)
             if continuation is not None:
                 continuation(run.finish_time)
             else:
@@ -169,7 +175,7 @@ class DecoupledVectorRunahead(Technique):
                 and self._worth_retriggering(dyn.pc, dyn.addr, entry.stride)
             ):
                 if self.discovery_enabled:
-                    self._begin_discovery(dyn)
+                    self._begin_discovery(dyn, cycle)
                 else:
                     # "Offload" configuration: vectorise immediately with
                     # the maximum lane count and no chain endpoint.
@@ -181,6 +187,7 @@ class DecoupledVectorRunahead(Technique):
         if self._budget <= 0:
             self._state = _IDLE
             self.discovery_aborts += 1
+            self.emit_event(cycle, EV_RUNAHEAD_EXIT, self._trigger_pc)
             return
         if instr.is_load and entry is not None and dyn.pc != self._trigger_pc:
             if entry.is_confident(self.detector.confidence_threshold):
@@ -188,7 +195,7 @@ class DecoupledVectorRunahead(Technique):
                     # Seen twice before the trigger came around again:
                     # this stride is more inner — switch to it.
                     self.innermost_switches += 1
-                    self._begin_discovery(dyn)
+                    self._begin_discovery(dyn, cycle)
                     return
                 entry.innermost_bit = True
         if dyn.pc == self._trigger_pc:
@@ -202,7 +209,8 @@ class DecoupledVectorRunahead(Technique):
 
     # -- discovery ------------------------------------------------------------------
 
-    def _begin_discovery(self, dyn) -> None:
+    def _begin_discovery(self, dyn, cycle: int) -> None:
+        self.emit_event(cycle, EV_RUNAHEAD_ENTER, dyn.pc)
         self._state = _DISCOVERY
         self._trigger_pc = dyn.pc
         self._trigger_stride = self.detector.stride_of(dyn.pc)
@@ -219,17 +227,21 @@ class DecoupledVectorRunahead(Technique):
         if self._flr is None:
             # No dependent chain beyond the stride prefetcher's reach:
             # not worth a subthread (Section 4.1.2).
+            self.emit_event(cycle, EV_RUNAHEAD_EXIT, dyn.pc)
             return
         if self._active is not None:
+            self.emit_event(cycle, EV_RUNAHEAD_EXIT, dyn.pc)
             return
         exit_checkpoint = self.shadow.snapshot_values()
         inference = self._lbd.infer(self._entry_checkpoint, exit_checkpoint)
         lanes = inference.lanes(self.lanes_max)
         if lanes <= 0:
             self.zero_lane_skips += 1
+            self.emit_event(cycle, EV_RUNAHEAD_EXIT, dyn.pc)
             return
         stride = self._trigger_stride or self.detector.stride_of(dyn.pc)
         if not stride:
+            self.emit_event(cycle, EV_RUNAHEAD_EXIT, dyn.pc)
             return
         use_nested = (
             self.nested_enabled
@@ -290,6 +302,7 @@ class DecoupledVectorRunahead(Technique):
         self._continuation = None
         self.spawns += 1
         self.total_lanes += lanes
+        self.emit_event(cycle, EV_VECTOR_DISPATCH, dyn.pc, lanes)
         self._record_coverage(dyn.pc, lane_addresses[-1])
 
     def _spawn_offload(self, dyn, cycle: int, stride: int) -> None:
@@ -409,11 +422,15 @@ class DecoupledVectorRunahead(Technique):
             self._active = run
             self._continuation = None
             self.total_lanes += len(inner_addresses)
+            self.emit_event(
+                finish_time, EV_VECTOR_DISPATCH, trigger_pc, len(inner_addresses)
+            )
 
         self._active = ndm_run
         self._continuation = continue_with_inner
         self.spawns += 1
         self.nested_spawns += 1
+        self.emit_event(cycle + steps, EV_VECTOR_DISPATCH, outer_pc, _NDM_OUTER_LANES)
         self._record_coverage(trigger_pc, dyn.addr + stride * lanes)
 
     def _collect_inner_addresses(

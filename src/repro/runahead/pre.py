@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..memory.hierarchy import LEVEL_DRAM, LEVEL_MSHR
+from ..observability.trace import EV_RUNAHEAD_ENTER, EV_RUNAHEAD_EXIT
 from ..prefetch.base import Technique
 from .interpreter import SpeculativeInterpreter
 from .shadow import ShadowState
@@ -44,6 +45,7 @@ class PreciseRunahead(Technique):
         if duration < self.core.config.runahead.pre_min_interval:
             return
         self.triggers += 1
+        self.emit_event(start, EV_RUNAHEAD_ENTER, self.shadow.next_pc)
         width = self.core.config.core.width
         hierarchy = self.core.hierarchy
         memory = self.core.memory_image
@@ -86,6 +88,7 @@ class PreciseRunahead(Technique):
                 self.instructions_executed += 1
             else:
                 self.instructions_filtered += 1
+        self.emit_event(min(end, start + charged // width), EV_RUNAHEAD_EXIT)
 
     def stats(self) -> Dict[str, float]:
         return {

@@ -18,6 +18,11 @@ from __future__ import annotations
 
 from typing import Dict
 
+from ..observability.trace import (
+    EV_RUNAHEAD_ENTER,
+    EV_RUNAHEAD_EXIT,
+    EV_VECTOR_DISPATCH,
+)
 from ..prefetch.base import Technique
 from .interpreter import SpeculativeInterpreter
 from .shadow import ShadowState
@@ -67,6 +72,7 @@ class VectorRunahead(Technique):
         if self.commit_blocked_until > start:
             return  # still finishing the previous vectorised chain
         self.triggers += 1
+        self.emit_event(start, EV_RUNAHEAD_ENTER, self.shadow.next_pc)
         memory = self.core.memory_image
         hierarchy = self.core.hierarchy
         interp = SpeculativeInterpreter(
@@ -103,12 +109,14 @@ class VectorRunahead(Technique):
             if interp.step(load_cb) is None:
                 break
         if stride_pc is None or stride_addr is None:
+            self.emit_event(start, EV_RUNAHEAD_EXIT)
             return
 
         stride = self.detector.stride_of(stride_pc)
         covered = self._coverage.get(stride_pc)
         if covered is not None and stride and (covered - stride_addr) // stride > self.lanes // 2:
             self.skipped_covered += 1
+            self.emit_event(start, EV_RUNAHEAD_EXIT)
             return
         lane_addresses = [stride_addr + stride * (l + 1) for l in range(self.lanes)]
         self._coverage[stride_pc] = lane_addresses[-1]
@@ -133,7 +141,9 @@ class VectorRunahead(Technique):
             },
             max_scalar_run=16,
         )
+        self.emit_event(start, EV_VECTOR_DISPATCH, stride_pc, self.lanes)
         run.run_to_completion()
+        self.emit_event(run.finish_time, EV_RUNAHEAD_EXIT, stride_pc)
         self.vector_episodes += 1
         self.prefetches += run.prefetches
         self.lanes_invalidated += run.lanes_invalidated

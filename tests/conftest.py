@@ -10,6 +10,20 @@ from repro.isa import ProgramBuilder
 from repro.memory import MemoryImage
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/ reference digests from the current run",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    return request.config.getoption("--update-goldens")
+
+
 def quick_config(max_instructions: int = 6_000, **overrides) -> SimConfig:
     """A config sized for tests: same structure, short regions."""
     from dataclasses import replace

@@ -1,0 +1,100 @@
+"""Golden-trace regression suite.
+
+Each (technique, workload) combination is run for a short region with
+event tracing on; the whole-stream digest must match the committed
+reference in ``tests/golden/traces.json``. The digest folds in every
+emitted event (fetch/issue/complete/retire plus runahead enter/exit and
+vector dispatches), so *any* behavioural drift in the pipeline or a
+runahead engine changes it.
+
+When a change is intentional, regenerate the references with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --update-goldens
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import run_simulation
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "traces.json"
+
+INSTRUCTIONS = 1_500
+TECHNIQUES = ("ooo", "vr", "dvr", "pre")
+WORKLOADS = ("camel", "nas_is")
+COMBOS = [(t, w) for t in TECHNIQUES for w in WORKLOADS]
+
+
+def _key(technique: str, workload: str) -> str:
+    return f"{workload}/{technique}@{INSTRUCTIONS}"
+
+
+def _load_goldens() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _run(technique: str, workload: str):
+    return run_simulation(
+        workload, technique, max_instructions=INSTRUCTIONS, trace=True
+    )
+
+
+def test_goldens_file_is_complete():
+    goldens = _load_goldens()
+    missing = [
+        _key(t, w) for t, w in COMBOS if _key(t, w) not in goldens
+    ]
+    assert not missing, (
+        f"missing golden digests {missing}; run with --update-goldens"
+    )
+
+
+@pytest.mark.parametrize("technique,workload", COMBOS)
+def test_trace_matches_golden(technique, workload, update_goldens):
+    result = _run(technique, workload)
+    assert result.trace_digest is not None
+    assert result.trace_events > 0
+    key = _key(technique, workload)
+    goldens = _load_goldens()
+    entry = {
+        "digest": result.trace_digest,
+        "events": result.trace_events,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+    }
+    if update_goldens:
+        goldens[key] = entry
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(goldens, indent=2, sort_keys=True) + "\n")
+        return
+    assert key in goldens, f"no golden for {key}; run with --update-goldens"
+    assert entry == goldens[key], (
+        f"{key}: trace drifted from golden.\n"
+        f"  expected {goldens[key]}\n"
+        f"  got      {entry}\n"
+        "If the change is intentional, regenerate with --update-goldens."
+    )
+
+
+def test_trace_digest_is_deterministic():
+    first = _run("vr", "camel")
+    second = _run("vr", "camel")
+    assert first.trace_digest == second.trace_digest
+    assert first.trace_events == second.trace_events
+
+
+def test_digest_independent_of_ring_capacity():
+    full = run_simulation(
+        "camel", "vr", max_instructions=INSTRUCTIONS, trace=True
+    )
+    tiny = run_simulation(
+        "camel", "vr", max_instructions=INSTRUCTIONS, trace=True, trace_capacity=64
+    )
+    assert full.trace_digest == tiny.trace_digest
+    assert full.trace_events == tiny.trace_events

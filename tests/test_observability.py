@@ -1,0 +1,291 @@
+"""Unit and property tests for ``repro.observability``.
+
+Covers the counter registry, the ring-buffered event trace, the hook
+facade, the stats exporter, and the microarchitectural counter
+invariants every simulation must satisfy (retired <= fetched, positive
+cycles, CPI stack summing to total cycles, non-negative values, and
+monotonicity across mid-run hook snapshots).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.experiments.runner import run_simulation
+from repro.observability import (
+    CounterRegistry,
+    EventTrace,
+    Observability,
+    STATS_SCHEMA,
+    stats_payload,
+    subtree,
+    validate_stats,
+    write_stats,
+)
+from repro.observability.counters import NAME_PATTERN
+from repro.observability.trace import EV_FETCH, EV_RETIRE, TRACE_FIELDS
+
+# -- CounterRegistry -----------------------------------------------------------
+
+_SEGMENT = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-", min_size=1, max_size=8
+)
+_NAMES = st.lists(_SEGMENT, min_size=2, max_size=4).map(".".join)
+
+
+class TestCounterRegistry:
+    def test_counter_created_on_first_use(self):
+        reg = CounterRegistry()
+        assert "a.b" not in reg
+        reg.inc("a.b")
+        assert "a.b" in reg
+        assert reg.get("a.b") == 1
+
+    def test_inc_set_get(self):
+        reg = CounterRegistry()
+        reg.inc("core.x", 5)
+        reg.inc("core.x", 2)
+        assert reg.get("core.x") == 7
+        reg.set("core.x", 3)
+        assert reg.get("core.x") == 3
+        assert reg.get("core.missing", default=-1) == -1
+
+    @pytest.mark.parametrize(
+        "bad", ["", "flat", ".leading", "trailing.", "a..b", "a b.c", "a.b!"]
+    )
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ReproError):
+            CounterRegistry().counter(bad)
+
+    def test_set_many_with_prefix(self):
+        reg = CounterRegistry()
+        reg.set_many({"main": 3, "runahead": 9}, prefix="mem.dram.accesses.")
+        assert reg.get("mem.dram.accesses.runahead") == 9
+
+    def test_snapshot_is_sorted_and_detached(self):
+        reg = CounterRegistry()
+        reg.set("b.z", 1)
+        reg.set("a.y", 2)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.y", "b.z"]
+        reg.inc("a.y")
+        assert snap["a.y"] == 2  # the snapshot does not alias the registry
+
+    def test_subtree_strips_prefix(self):
+        reg = CounterRegistry()
+        reg.set("mem.l1.hits", 10)
+        reg.set("mem.l1.misses", 4)
+        reg.set("core.cycles", 99)
+        assert reg.subtree("mem.l1") == {"hits": 10, "misses": 4}
+        assert subtree(reg.snapshot(), "mem.l1") == {"hits": 10, "misses": 4}
+
+    def test_as_tree_nests(self):
+        reg = CounterRegistry()
+        reg.set("core.stall.episodes", 2)
+        reg.set("core.cycles", 7)
+        assert reg.as_tree() == {"core": {"cycles": 7, "stall": {"episodes": 2}}}
+
+    @given(names=st.lists(_NAMES, min_size=1, max_size=20, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_iteration_matches_snapshot(self, names):
+        reg = CounterRegistry()
+        for i, name in enumerate(names):
+            reg.set(name, i)
+        assert dict(iter(reg)) == reg.snapshot()
+        assert len(reg) == len(names)
+
+    @given(
+        values=st.dictionaries(
+            _NAMES, st.integers(min_value=0, max_value=10**9), max_size=12
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_valid_names_always_accepted(self, values):
+        reg = CounterRegistry()
+        reg.set_many(values)
+        for name, value in values.items():
+            assert NAME_PATTERN.match(name)
+            assert reg.get(name) == value
+
+
+# -- EventTrace ----------------------------------------------------------------
+
+class TestEventTrace:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+    def test_ring_eviction_keeps_digest_whole_stream(self):
+        big = EventTrace(capacity=1000)
+        small = EventTrace(capacity=4)
+        for i in range(50):
+            big.emit(i, EV_FETCH, pc=i, info=1)
+            small.emit(i, EV_FETCH, pc=i, info=1)
+        assert big.digest() == small.digest()
+        assert small.emitted == 50 and len(small) == 4
+        assert small.dropped == 46
+        assert [e.seq for e in small.events()] == [46, 47, 48, 49]
+
+    def test_digest_sensitive_to_every_field(self):
+        base = EventTrace()
+        base.emit(5, EV_FETCH, pc=10, info=2)
+        for cycle, kind, pc, info in [
+            (6, EV_FETCH, 10, 2),
+            (5, EV_RETIRE, 10, 2),
+            (5, EV_FETCH, 11, 2),
+            (5, EV_FETCH, 10, 3),
+        ]:
+            other = EventTrace()
+            other.emit(cycle, kind, pc=pc, info=info)
+            assert other.digest() != base.digest()
+
+    def test_jsonl_roundtrip(self):
+        trace = EventTrace()
+        trace.emit(1, EV_FETCH, pc=4, info=7)
+        trace.emit(2, EV_RETIRE, pc=4, info=7)
+        buf = io.StringIO()
+        assert trace.write_jsonl(buf) == 2
+        rows = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert rows[0] == {"seq": 0, "cycle": 1, "kind": "fetch", "pc": 4, "info": 7}
+        assert tuple(rows[1]) == TRACE_FIELDS
+
+    def test_csv_has_header_and_rows(self):
+        trace = EventTrace()
+        trace.emit(1, EV_FETCH)
+        buf = io.StringIO()
+        assert trace.write_csv(buf) == 1
+        lines = buf.getvalue().strip().splitlines()
+        assert lines[0] == ",".join(TRACE_FIELDS)
+        assert lines[1] == "0,1,fetch,0,0"
+
+
+# -- Observability hooks -------------------------------------------------------
+
+class TestObservabilityFacade:
+    def test_trace_opt_in(self):
+        assert Observability().trace is None
+        assert Observability(trace=True).trace is not None
+
+    @pytest.mark.parametrize("interval", [0, -5])
+    def test_hook_intervals_must_be_positive(self, interval):
+        obs = Observability()
+        with pytest.raises(ValueError):
+            obs.on_cycle(interval, lambda c, r: None)
+        with pytest.raises(ValueError):
+            obs.on_interval(interval, lambda c, r: None)
+
+    def test_maybe_fire_catches_up_over_skipped_boundaries(self):
+        obs = Observability()
+        fired = []
+        obs.on_interval(10, lambda cycle, reg: fired.append(cycle))
+        publishes = []
+        obs.maybe_fire(5, 100, publishes.append)   # not due
+        obs.maybe_fire(37, 200, publishes.append)  # crosses 10, 20, 30 at once
+        obs.maybe_fire(39, 300, publishes.append)  # next boundary is now 40
+        assert fired == [200]
+        assert len(publishes) == 1
+
+    def test_sample_every_collects_snapshots(self):
+        obs = Observability()
+        obs.sample_every(1000)
+        result = run_simulation(
+            "camel", "vr", max_instructions=3000, observability=obs
+        )
+        assert len(obs.samples) >= 2
+        for cycle, snap in obs.samples:
+            assert cycle > 0
+            assert snap["core.commit.instructions"] <= result.instructions
+
+
+# -- simulation counter invariants ---------------------------------------------
+
+_COMBOS = [("camel", "ooo"), ("camel", "vr"), ("nas_is", "dvr"), ("nas_is", "pre")]
+
+
+@pytest.fixture(scope="module")
+def sampled_runs():
+    runs = {}
+    for workload, technique in _COMBOS:
+        obs = Observability()
+        obs.sample_every(500)
+        result = run_simulation(
+            workload, technique, max_instructions=2500, observability=obs
+        )
+        runs[(workload, technique)] = (result, obs.samples)
+    return runs
+
+
+@pytest.mark.parametrize("combo", _COMBOS, ids=lambda c: f"{c[0]}-{c[1]}")
+class TestCounterInvariants:
+    def test_retired_never_exceeds_fetched(self, sampled_runs, combo):
+        result, samples = sampled_runs[combo]
+        assert result.counters["core.commit.instructions"] <= result.counters[
+            "core.fetch.instructions"
+        ]
+        for _, snap in samples:
+            assert snap["core.commit.instructions"] <= snap["core.fetch.instructions"]
+
+    def test_cycles_positive(self, sampled_runs, combo):
+        result, samples = sampled_runs[combo]
+        assert result.counters["core.cycles"] > 0
+        for _, snap in samples:
+            assert snap["core.cycles"] > 0
+
+    def test_cpi_stack_sums_to_total_cycles(self, sampled_runs, combo):
+        result, _ = sampled_runs[combo]
+        stack = subtree(result.counters, "core.cpi_stack")
+        assert stack
+        assert sum(stack.values()) == pytest.approx(result.counters["core.cycles"])
+
+    def test_counters_non_negative(self, sampled_runs, combo):
+        result, samples = sampled_runs[combo]
+        for name, value in result.counters.items():
+            assert value >= 0, name
+        for _, snap in samples:
+            for name, value in snap.items():
+                assert value >= 0, name
+
+    def test_counters_monotone_across_samples(self, sampled_runs, combo):
+        _, samples = sampled_runs[combo]
+        assert len(samples) >= 2
+        for (_, before), (_, after) in zip(samples, samples[1:]):
+            for name, value in before.items():
+                assert after.get(name, 0) >= value, name
+
+
+# -- stats export schema -------------------------------------------------------
+
+class TestStatsSchema:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_simulation("camel", "vr", max_instructions=2000, trace=True)
+
+    def test_roundtrip_through_json(self, result, tmp_path):
+        path = tmp_path / "stats.json"
+        written = write_stats(result, str(path))
+        parsed = validate_stats(path.read_text())
+        assert parsed == written
+        assert parsed["schema"] == STATS_SCHEMA
+        assert parsed["trace"]["digest"] == result.trace_digest
+
+    def test_validate_rejects_bad_documents(self, result):
+        good = stats_payload(result)
+        bad_cases = [
+            {},
+            {**good, "schema": "repro.stats/999"},
+            {**good, "cycles": 0},
+            {**good, "ipc": good["ipc"] * 2},
+            {**good, "counters": {"flat": 1}},
+            {**good, "counters": {"core.cycles": -1}},
+            {**good, "trace": {"enabled": True, "digest": None, "events": 5}},
+            "not json {",
+        ]
+        for bad in bad_cases:
+            with pytest.raises(ReproError):
+                validate_stats(bad)
