@@ -6,16 +6,21 @@ Examples::
     repro run --workload camel --technique dvr -n 20000
     repro figure figure7 --instructions 10000
     repro table table2
+    repro batch specs.json --jobs 8 --cache .repro-cache
+    repro sweep --workload nas_cg --technique dvr \\
+          --param runahead.dvr_lanes --values 32 64 --cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from . import __version__
 from .experiments import (
+    BatchFailure,
     compare_techniques,
     figure2,
     hardware_cost_table,
@@ -25,6 +30,7 @@ from .experiments import (
     figure10,
     figure11,
     figure12,
+    run_batch,
     run_simulation,
     run_sweep,
     table1_rows,
@@ -47,6 +53,44 @@ _TABLES = {
     "table2": table2_rows,
     "hwcost": lambda **kw: hardware_cost_table(),
 }
+
+
+def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
+    """--jobs/--cache/--resume, shared by sweep/compare/figure/batch."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="simulate across N worker processes",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="DIR",
+        help="serve clean points from (and store results into) an on-disk"
+        " result cache; DIR defaults to $REPRO_CACHE_DIR or ~/.cache/repro",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="re-run only the points missing from the cache (implies --cache)",
+    )
+
+
+def _make_cache(args):
+    """Build the ResultCache requested by --cache/--resume, or None."""
+    if args.cache is None and not args.resume:
+        return None
+    from .experiments import ResultCache
+
+    return ResultCache(args.cache or None)
+
+
+def _emit_batch_stats() -> None:
+    """One stderr line with the full batch.* counter family (pre-created
+    at zero so consumers — e.g. the CI cache smoke — can grep any of
+    them unconditionally)."""
+    from .experiments.cache import BATCH_COUNTER_NAMES, BATCH_COUNTERS
+
+    for name in BATCH_COUNTER_NAMES:
+        BATCH_COUNTERS.counter(name)
+    line = " ".join(f"{k}={v:g}" for k, v in BATCH_COUNTERS.snapshot().items())
+    print(f"batch stats  : {line}", file=sys.stderr)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -97,6 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--instructions", type=int, default=15_000)
     fig_p.add_argument("--workloads", nargs="*", default=None)
     fig_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+    _add_batch_flags(fig_p)
 
     tab_p = sub.add_parser("table", help="regenerate a paper table")
     tab_p.add_argument("name", choices=sorted(_TABLES))
@@ -116,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--instructions", type=int, default=8_000)
     sweep_p.add_argument("--seeds", type=int, default=1, help="workload seeds to average")
     sweep_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+    _add_batch_flags(sweep_p)
 
     cmp_p = sub.add_parser("compare", help="workload x technique speedup matrix")
     cmp_p.add_argument("--workloads", nargs="+", required=True, choices=WORKLOAD_NAMES)
@@ -123,6 +169,22 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--instructions", type=int, default=8_000)
     cmp_p.add_argument("--seeds", type=int, default=1)
     cmp_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+    _add_batch_flags(cmp_p)
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="run a JSON list of simulation specs, fault-tolerantly",
+        description="SPECS is a JSON file holding a list of run_simulation"
+        " keyword dicts (workload, technique, max_instructions, input_name,"
+        " seed, size); an optional 'overrides' dict of dotted config paths"
+        " is applied to the default SimConfig. One spec failing never sinks"
+        " the batch: its slot reports the error and the exit code is 1.",
+    )
+    batch_p.add_argument("specs", metavar="SPECS", help="path to the JSON spec file")
+    batch_p.add_argument("--retries", type=int, default=2,
+                         help="extra pool attempts after transient worker death")
+    batch_p.add_argument("--format", choices=["text", "json"], default="text")
+    _add_batch_flags(batch_p)
 
     pipe_p = sub.add_parser(
         "pipeview", help="ASCII pipeline timeline of a run's first instructions"
@@ -205,11 +267,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"stats file   : {args.stats_out}")
         return 0
     if args.command == "figure":
+        import tempfile
+
+        from .experiments import ResultCache, figure_specs, use_cache
+
         generator = _FIGURES[args.name]
         kwargs = {"instructions": args.instructions}
         if args.workloads:
             kwargs["workloads"] = args.workloads
-        print(_render(generator(**kwargs), args.format))
+        cache = _make_cache(args)
+        ephemeral = None
+        if args.jobs and args.jobs > 1 and cache is None:
+            # Parallelism for a serial generator works by warming a
+            # cache; without --cache, use a throwaway one.
+            ephemeral = tempfile.TemporaryDirectory(prefix="repro-figure-cache-")
+            cache = ResultCache(ephemeral.name)
+        try:
+            if cache is not None:
+                if args.jobs and args.jobs > 1:
+                    run_batch(
+                        figure_specs(args.name, **kwargs), jobs=args.jobs, cache=cache
+                    )
+                with use_cache(cache):
+                    result = generator(**kwargs)
+            else:
+                result = generator(**kwargs)
+        finally:
+            if ephemeral is not None:
+                ephemeral.cleanup()
+        print(_render(result, args.format))
+        if args.cache is not None or args.resume:
+            _emit_batch_stats()
         return 0
     if args.command == "table":
         generator = _TABLES[args.name]
@@ -218,6 +306,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         values = [_parse_value(v) for v in args.values]
+        cache = _make_cache(args)
         result = run_sweep(
             args.workload,
             args.technique,
@@ -225,18 +314,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             values,
             instructions=args.instructions,
             seeds=list(range(1, args.seeds + 1)) if args.seeds > 1 else None,
+            jobs=args.jobs,
+            cache=cache,
         )
         print(_render(result, args.format))
+        if cache is not None:
+            _emit_batch_stats()
         return 0
     if args.command == "compare":
+        cache = _make_cache(args)
         result = compare_techniques(
             args.workloads,
             args.techniques,
             instructions=args.instructions,
             seeds=list(range(1, args.seeds + 1)) if args.seeds > 1 else None,
+            jobs=args.jobs,
+            cache=cache,
         )
         print(_render(result, args.format))
+        if cache is not None:
+            _emit_batch_stats()
         return 0
+    if args.command == "batch":
+        return _run_batch_command(args)
     if args.command == "pipeview":
         from .core import OoOCore, pipeview_legend, render_pipeview
         from .techniques import make_technique
@@ -272,7 +372,63 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 1  # pragma: no cover
 
 
+def _run_batch_command(args) -> int:
+    """``repro batch SPECS.json``: fault-tolerant spec-list execution."""
+    from .errors import ReproError
+    from .experiments import apply_override
+    from .config import SimConfig
+
+    try:
+        with open(args.specs) as handle:
+            raw = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read spec file {args.specs!r}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(raw, list) or not all(isinstance(s, dict) for s in raw):
+        print("error: spec file must hold a JSON list of objects", file=sys.stderr)
+        return 2
+    specs = []
+    for entry in raw:
+        spec = dict(entry)
+        overrides = spec.pop("overrides", None)
+        if overrides:
+            config = SimConfig()
+            try:
+                for path, value in overrides.items():
+                    config = apply_override(config, path, value)
+            except ReproError as exc:
+                print(f"error: bad overrides in spec {entry!r}: {exc}", file=sys.stderr)
+                return 2
+            spec["config"] = config
+        specs.append(spec)
+    cache = _make_cache(args)
+    results = run_batch(specs, jobs=args.jobs, cache=cache, retries=args.retries)
+    failures = 0
+    if args.format == "json":
+        payload = [r.to_dict() for r in results]
+        failures = sum(isinstance(r, BatchFailure) for r in results)
+        print(json.dumps(payload, indent=2))
+    else:
+        for spec, result in zip(specs, results):
+            if isinstance(result, BatchFailure):
+                failures += 1
+                print(f"FAIL {result.summary()}")
+            else:
+                print(
+                    f"ok   {result.workload}/{result.technique}: "
+                    f"ipc={result.ipc:.3f} cycles={result.cycles} "
+                    f"instructions={result.instructions}"
+                )
+        print(f"{len(results) - failures}/{len(results)} specs succeeded")
+    if cache is not None:
+        _emit_batch_stats()
+    return 1 if failures else 0
+
+
 def _parse_value(text: str):
+    low = text.strip().lower()
+    if low in ("true", "false"):
+        return low == "true"
     try:
         return int(text)
     except ValueError:

@@ -3,8 +3,20 @@
 Every generator returns an :class:`ExperimentResult` whose rows are the
 series the paper plots; ``to_text()`` renders the table the benchmark
 harness prints. See DESIGN.md for the experiment index.
+
+Execution plumbing lives in :mod:`repro.experiments.batch` (the
+fault-tolerant parallel runner) and :mod:`repro.experiments.cache`
+(the content-addressed on-disk result cache); see
+``docs/experiments.md`` for the operator's guide.
 """
 
+from .batch import BatchFailure, batch_failures, run_batch, speedup_matrix, successful
+from .cache import (
+    BATCH_COUNTERS,
+    ResultCache,
+    reset_batch_counters,
+    use_cache,
+)
 from .figures import (
     figure2,
     figure7,
@@ -13,15 +25,19 @@ from .figures import (
     figure10,
     figure11,
     figure12,
+    figure_specs,
 )
-from .parallel import run_batch, speedup_matrix
 from .report import ExperimentResult, format_table, harmonic_mean
 from .runner import run_simulation
-from .sweep import apply_override, compare_techniques, run_sweep
+from .sweep import apply_override, coerce_bool, compare_techniques, run_sweep
 from .tables import hardware_cost_table, table1_rows, table2_rows
 
 __all__ = [
+    "BATCH_COUNTERS",
+    "BatchFailure",
     "ExperimentResult",
+    "ResultCache",
+    "batch_failures",
     "figure2",
     "figure7",
     "figure8",
@@ -29,14 +45,19 @@ __all__ = [
     "figure10",
     "figure11",
     "figure12",
+    "figure_specs",
     "format_table",
     "harmonic_mean",
+    "reset_batch_counters",
     "run_batch",
     "run_simulation",
     "speedup_matrix",
+    "successful",
     "run_sweep",
     "compare_techniques",
     "apply_override",
+    "coerce_bool",
+    "use_cache",
     "hardware_cost_table",
     "table1_rows",
     "table2_rows",

@@ -1,0 +1,321 @@
+"""Fault-tolerant, cache-accelerated parallel batch execution.
+
+Every run in a figure or sweep is independent (fresh workload, fresh
+core), so a batch's wall-clock is trivially divisible across cores.
+:func:`run_batch` executes a list of :func:`run_simulation`
+keyword-argument dicts::
+
+    specs = [
+        {"workload": "camel", "technique": t, "max_instructions": 10_000}
+        for t in ("ooo", "vr", "dvr")
+    ]
+    results = run_batch(specs, jobs=4)
+
+Guarantees, in order of importance:
+
+* **Isolation** — a spec that raises (bad workload name, config error,
+  simulator bug) produces a :class:`BatchFailure` carrying the full
+  traceback in its slot; the rest of the pool keeps running. Pass
+  ``strict=True`` to turn any failure into a :class:`ReproError`.
+* **Determinism** — results come back in spec order regardless of
+  completion order and are bit-identical to serial execution (workers
+  return whole :class:`SimulationResult` objects; nothing is reduced
+  in a nondeterministic order).
+* **Retry** — transient worker-pool death (OOM-killed child, broken
+  pipe) re-runs only the unfinished specs, with bounded exponential
+  backoff; after ``retries`` extra attempts the survivors are reported
+  as failures rather than hanging or sinking the batch.
+* **Throughput** — ``imap_unordered`` with chunking keeps all workers
+  busy regardless of per-spec runtime skew; identical specs are
+  deduplicated (content-addressed, same keying as the result cache) so
+  e.g. a repeated ``ooo`` baseline simulates once.
+* **Caching** — pass ``cache=ResultCache(...)`` to serve clean specs
+  from disk and persist fresh results, so a re-run after an edit or a
+  crash re-simulates only what changed (``--resume``).
+
+Progress and health are published into the ``batch.*`` counter family
+(:data:`~repro.experiments.cache.BATCH_COUNTERS`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback as traceback_module
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.ooo import SimulationResult
+from ..errors import ReproError
+from .cache import (
+    BATCH_COUNTERS,
+    ResultCache,
+    canonical_spec,
+    resolved_spec_key,
+    spec_cacheable,
+)
+from .runner import run_simulation
+
+BatchOutcome = Union[SimulationResult, "BatchFailure"]
+
+
+@dataclass
+class BatchFailure:
+    """Structured record of one spec that could not produce a result."""
+
+    #: JSON-safe copy of the offending spec (configs as nested dicts).
+    spec: Dict
+    #: Exception class name (``WorkloadError``, ``ConfigError``, ...).
+    error_type: str
+    #: ``str(exception)``.
+    message: str
+    #: Full formatted traceback from the worker that ran the spec.
+    traceback: str
+    #: Pool attempts consumed before giving up (1 = first try failed
+    #: deterministically; >1 = transient worker death exhausted retries).
+    attempts: int = 1
+
+    def summary(self) -> str:
+        workload = self.spec.get("workload", "?")
+        technique = self.spec.get("technique", "ooo")
+        return f"{workload}/{technique}: {self.error_type}: {self.message}"
+
+    def to_dict(self) -> Dict:
+        return {
+            "failure": True,
+            "spec": self.spec,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+
+def _execute_spec(spec: Dict) -> BatchOutcome:
+    """Run one spec, converting any exception into a BatchFailure."""
+    try:
+        return run_simulation(**spec)
+    except Exception as exc:  # noqa: BLE001 — the isolation boundary
+        return BatchFailure(
+            spec=canonical_spec(spec),
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback_module.format_exc(),
+        )
+
+
+def _pool_worker(item: Tuple[str, Dict]) -> Tuple[str, BatchOutcome]:
+    key, spec = item
+    return key, _execute_spec(spec)
+
+
+def _run_pool(
+    items: Sequence[Tuple[str, Dict]], jobs: int
+) -> Iterable[Tuple[str, BatchOutcome]]:
+    """One pool pass over ``items``; yields (key, outcome) as they finish.
+
+    Factored out so the retry loop (and tests) can treat "the pool blew
+    up" as a single fallible operation.
+    """
+    # Prefer fork where available: it does not re-import __main__, so
+    # run_batch works from scripts, notebooks, and the REPL alike.
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    context = multiprocessing.get_context(method)
+    chunksize = max(1, len(items) // (jobs * 4))
+    with context.Pool(min(jobs, len(items))) as pool:
+        yield from pool.imap_unordered(_pool_worker, items, chunksize=chunksize)
+
+
+def _run_pending_parallel(
+    pending: List[Tuple[str, Dict]],
+    jobs: int,
+    outcomes: Dict[str, BatchOutcome],
+    retries: int,
+    retry_backoff: float,
+) -> None:
+    """Drive the pool over ``pending``, retrying transient pool death.
+
+    Spec-level exceptions never reach this layer (workers catch them
+    into BatchFailures); an exception here means the pool machinery
+    itself broke — a killed worker, a broken pipe — so only the specs
+    without an outcome yet are re-dispatched.
+    """
+    remaining = list(pending)
+    attempt = 0
+    while remaining:
+        try:
+            for key, outcome in _run_pool(remaining, jobs):
+                outcomes[key] = outcome
+            remaining = [item for item in remaining if item[0] not in outcomes]
+            if not remaining:
+                return
+            raise ReproError(
+                f"worker pool finished but left {len(remaining)} specs without results"
+            )
+        except Exception as exc:  # noqa: BLE001 — pool-level fault domain
+            remaining = [item for item in remaining if item[0] not in outcomes]
+            if not remaining:
+                return
+            attempt += 1
+            if attempt > retries:
+                trace = traceback_module.format_exc()
+                for key, spec in remaining:
+                    outcomes[key] = BatchFailure(
+                        spec=canonical_spec(spec),
+                        error_type=type(exc).__name__,
+                        message=(
+                            f"worker pool failed {attempt} times; giving up: {exc}"
+                        ),
+                        traceback=trace,
+                        attempts=attempt,
+                    )
+                return
+            BATCH_COUNTERS.inc("batch.retries")
+            time.sleep(retry_backoff * (2 ** (attempt - 1)))
+
+
+def _validate_jobs(jobs: Optional[int]) -> None:
+    if jobs is not None and (
+        isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1
+    ):
+        raise ReproError(
+            f"run_batch jobs must be None or a positive integer, got {jobs!r}"
+        )
+
+
+def run_batch(
+    specs: Sequence[Dict],
+    jobs: Optional[int] = None,
+    *,
+    cache: Optional[ResultCache] = None,
+    retries: int = 2,
+    retry_backoff: float = 0.25,
+    strict: bool = False,
+) -> List[BatchOutcome]:
+    """Run every spec; ``jobs`` > 1 uses a process pool.
+
+    ``jobs=None`` or ``jobs=1`` runs serially (no subprocess overhead —
+    the right choice for small batches and inside test suites); every
+    other guarantee (isolation, dedup, caching, spec-order results) is
+    identical between the serial and parallel paths.
+
+    Returns one entry per spec, in spec order: a
+    :class:`SimulationResult` on success, a :class:`BatchFailure`
+    otherwise. With ``strict=True`` the first failure raises
+    :class:`ReproError` (carrying the worker traceback) instead.
+    """
+    _validate_jobs(jobs)
+    specs = [dict(spec) for spec in specs]
+    BATCH_COUNTERS.inc("batch.batches")
+    BATCH_COUNTERS.inc("batch.specs", len(specs))
+
+    # Content-addressed dedup: identical specs simulate once. Specs
+    # carrying a live observability facade are never deduped or cached
+    # (the caller wants the per-run side-band state populated).
+    positions: Dict[str, List[int]] = {}
+    unique: List[Tuple[str, Dict]] = []
+    for index, spec in enumerate(specs):
+        if spec_cacheable(spec):
+            key = resolved_spec_key(spec)
+        else:
+            key = f"uncacheable-{index}"
+        slots = positions.setdefault(key, [])
+        if slots:
+            BATCH_COUNTERS.inc("batch.dedup.reused")
+        else:
+            unique.append((key, spec))
+        slots.append(index)
+
+    outcomes: Dict[str, BatchOutcome] = {}
+    pending: List[Tuple[str, Dict]] = []
+    for key, spec in unique:
+        hit = (
+            cache.get(key)
+            if cache is not None and spec_cacheable(spec)
+            else None
+        )
+        if hit is not None:
+            outcomes[key] = hit
+        else:
+            pending.append((key, spec))
+
+    if pending:
+        if jobs is None or jobs <= 1 or len(pending) <= 1:
+            for key, spec in pending:
+                outcomes[key] = _execute_spec(spec)
+        else:
+            _run_pending_parallel(pending, jobs, outcomes, retries, retry_backoff)
+        if cache is not None:
+            for key, spec in pending:
+                outcome = outcomes.get(key)
+                if isinstance(outcome, SimulationResult) and spec_cacheable(spec):
+                    cache.put(key, outcome)
+
+    results: List[Optional[BatchOutcome]] = [None] * len(specs)
+    for key, slots in positions.items():
+        outcome = outcomes[key]
+        for index in slots:
+            results[index] = outcome
+
+    failures = [r for r in results if isinstance(r, BatchFailure)]
+    if failures:
+        BATCH_COUNTERS.inc("batch.failures", len(failures))
+        if strict:
+            first = failures[0]
+            raise ReproError(
+                f"batch failed: {len(failures)}/{len(specs)} specs; "
+                f"first failure — {first.summary()}\n{first.traceback}"
+            )
+    return results
+
+
+def successful(results: Iterable[BatchOutcome]) -> List[SimulationResult]:
+    """Filter a batch down to its SimulationResults."""
+    return [r for r in results if isinstance(r, SimulationResult)]
+
+
+def batch_failures(results: Iterable[BatchOutcome]) -> List[BatchFailure]:
+    """Filter a batch down to its BatchFailures."""
+    return [r for r in results if isinstance(r, BatchFailure)]
+
+
+def speedup_matrix(
+    workloads: Sequence[str],
+    techniques: Sequence[str],
+    instructions: int = 10_000,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Convenience: {workload: {technique: speedup-over-ooo}} computed
+    with one parallel batch (baseline included automatically).
+
+    The baseline spec and an ``"ooo"`` entry in ``techniques`` are the
+    same content-addressed spec, so ``ooo`` appearing in the technique
+    list no longer costs a second baseline simulation per workload.
+    """
+    specs: List[Dict] = []
+    for workload in workloads:
+        specs.append(
+            {"workload": workload, "technique": "ooo", "max_instructions": instructions}
+        )
+        for technique in techniques:
+            specs.append(
+                {
+                    "workload": workload,
+                    "technique": technique,
+                    "max_instructions": instructions,
+                }
+            )
+    results = run_batch(specs, jobs=jobs, cache=cache, strict=True)
+    matrix: Dict[str, Dict[str, float]] = {}
+    cursor = 0
+    for workload in workloads:
+        baseline = results[cursor]
+        cursor += 1
+        row: Dict[str, float] = {}
+        for technique in techniques:
+            result = results[cursor]
+            cursor += 1
+            row[technique] = result.ipc / baseline.ipc if baseline.ipc else 0.0
+        matrix[workload] = row
+    return matrix

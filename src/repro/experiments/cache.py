@@ -1,0 +1,308 @@
+"""Content-addressed on-disk cache of :class:`SimulationResult`\\ s.
+
+Every simulation in this package is deterministic: the result is a pure
+function of (workload spec, resolved :class:`~repro.config.SimConfig`,
+seed, simulator code). The cache exploits that by keying each result on
+a BLAKE2b digest of exactly those inputs, so
+
+* a repeated ``repro sweep --cache`` re-runs **only changed points**,
+* `figures`, `run_sweep`, `compare_techniques`, and `speedup_matrix`
+  share baselines across invocations for free, and
+* editing any simulator source file invalidates every entry at once
+  (the key embeds a fingerprint of the package's ``.py`` files).
+
+Cached results are bit-identical to live runs: the stored payload is
+the full dataclass field set (JSON round-trips Python ints and floats
+exactly), including the golden-trace digest for traced runs.
+
+Cache plumbing publishes into :data:`BATCH_COUNTERS`, a process-wide
+:class:`~repro.observability.counters.CounterRegistry` holding the
+``batch.*`` family (``batch.cache.hits``, ``batch.cache.misses``,
+``batch.sim.runs``, ``batch.retries``, ``batch.failures``, ...) — see
+``docs/observability.md``.
+
+:func:`use_cache` installs a cache as the ambient context for
+:func:`~repro.experiments.runner.run_simulation`, which lets the
+figure generators run cached without threading a parameter through
+every call site::
+
+    with use_cache(ResultCache(".repro-cache")):
+        figure7(instructions=10_000)   # every point served from cache when clean
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from ..config import SimConfig
+from ..core.ooo import SimulationResult
+from ..observability import CounterRegistry
+
+#: Version tag written into every cache file; bump on layout changes.
+CACHE_SCHEMA = "repro.batch-cache/1"
+
+#: Process-wide registry for the ``batch.*`` counter family. The batch
+#: runner, the result cache, and the single-run entry point all publish
+#: here; `repro sweep/compare/batch --cache` prints a snapshot.
+BATCH_COUNTERS = CounterRegistry()
+
+#: Every counter the batch layer may publish (pre-created on emission
+#: so consumers — e.g. the CI smoke job — can rely on the full family
+#: being present even when a run never touched one of them).
+BATCH_COUNTER_NAMES = (
+    "batch.batches",
+    "batch.specs",
+    "batch.sim.runs",
+    "batch.cache.hits",
+    "batch.cache.misses",
+    "batch.cache.stores",
+    "batch.dedup.reused",
+    "batch.retries",
+    "batch.failures",
+)
+
+
+def reset_batch_counters() -> None:
+    """Zero the ``batch.*`` family (tests and long-lived processes)."""
+    BATCH_COUNTERS.reset()
+
+
+# -- code fingerprint ---------------------------------------------------------
+
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``.py`` file in the installed ``repro`` package.
+
+    Computed once per process; any source edit therefore changes every
+    cache key, which is the conservative (always-correct) invalidation
+    policy for a pure-function simulator.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.blake2b(digest_size=16)
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+# -- spec canonicalisation ----------------------------------------------------
+
+#: run_simulation keyword arguments that participate in the identity of
+#: a run. ``observability`` never does: runs carrying a live facade are
+#: not cacheable (the caller wants the side-band trace/hook state).
+_IDENTITY_KEYS = (
+    "workload",
+    "technique",
+    "config",
+    "max_instructions",
+    "input_name",
+    "size",
+    "seed",
+    "trace",
+    "trace_capacity",
+)
+
+
+def canonical_spec(spec: Dict) -> Dict:
+    """JSON-safe copy of a spec dict (dataclasses become nested dicts)."""
+    out = {}
+    for key in sorted(spec):
+        value = spec[key]
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = dataclasses.asdict(value)
+        out[key] = value
+    return out
+
+
+def resolve_spec(spec: Dict) -> Dict:
+    """Normalise a ``run_simulation`` kwargs dict to its cache identity.
+
+    Applies the same defaulting the runner applies (``config or
+    SimConfig()`` with the ``max_instructions`` override folded in), so
+    ``{"workload": "bfs", "max_instructions": 1200}`` and the explicit
+    ``{"workload": "bfs", "config": SimConfig(max_instructions=1200)}``
+    resolve to the same key.
+    """
+    config = spec.get("config") or SimConfig()
+    max_instructions = spec.get("max_instructions")
+    if max_instructions is not None:
+        config = config.with_max_instructions(max_instructions)
+    trace = bool(spec.get("trace", False))
+    resolved = {
+        "workload": spec.get("workload"),
+        "technique": spec.get("technique", "ooo"),
+        "config": dataclasses.asdict(config),
+        "input_name": spec.get("input_name"),
+        "size": spec.get("size", "default"),
+        "seed": spec.get("seed"),
+        "trace": trace,
+        "trace_capacity": spec.get("trace_capacity", 65_536) if trace else None,
+    }
+    extras = {
+        key: value for key, value in spec.items()
+        if key not in _IDENTITY_KEYS and key != "observability"
+    }
+    if extras:
+        resolved["extras"] = canonical_spec(extras)
+    return resolved
+
+
+def spec_key(resolved: Dict, fingerprint: Optional[str] = None) -> str:
+    """Content address of an already-resolved spec dict."""
+    payload = {
+        "fingerprint": fingerprint if fingerprint is not None else code_fingerprint(),
+        "spec": canonical_spec(resolved),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.blake2b(blob.encode(), digest_size=20).hexdigest()
+
+
+def resolved_spec_key(spec: Dict) -> str:
+    """Cache key of a raw ``run_simulation`` kwargs dict."""
+    return spec_key(resolve_spec(spec))
+
+
+def spec_cacheable(spec: Dict) -> bool:
+    """A spec carrying a live observability facade must run fresh."""
+    return spec.get("observability") is None
+
+
+# -- result (de)serialisation -------------------------------------------------
+
+def result_to_payload(result: SimulationResult) -> Dict:
+    """Full dataclass field set (unlike ``to_dict``, which is lossy)."""
+    return dataclasses.asdict(result)
+
+
+def result_from_payload(payload: Dict) -> SimulationResult:
+    return SimulationResult(**payload)
+
+
+# -- the cache ----------------------------------------------------------------
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """One directory of ``<key>.json`` result files.
+
+    Writes are atomic (temp file + ``os.replace``), so concurrent
+    writers — e.g. forked batch workers racing the parent — can only
+    ever leave a complete entry. Corrupt or stale-schema entries are
+    treated as misses and removed.
+    """
+
+    def __init__(
+        self,
+        root: Optional[os.PathLike] = None,
+        counters: Optional[CounterRegistry] = None,
+    ) -> None:
+        self.root = Path(root) if root else default_cache_dir()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.counters = counters if counters is not None else BATCH_COUNTERS
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA:
+                raise ValueError("schema mismatch")
+            result = result_from_payload(payload["result"])
+        except FileNotFoundError:
+            result = None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt / foreign entry: drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            result = None
+        if result is None:
+            self.misses += 1
+            self.counters.inc("batch.cache.misses")
+        else:
+            self.hits += 1
+            self.counters.inc("batch.cache.hits")
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "workload": result.workload,
+            "technique": result.technique,
+            "result": result_to_payload(result),
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.root, prefix=".tmp-", suffix=".json", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, self._path(key))
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        self.counters.inc("batch.cache.stores")
+
+    # Spec-level conveniences (resolve + key in one step).
+
+    def get_spec(self, spec: Dict) -> Optional[SimulationResult]:
+        return self.get(resolved_spec_key(spec))
+
+    def put_spec(self, spec: Dict, result: SimulationResult) -> None:
+        self.put(resolved_spec_key(spec), result)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# -- ambient cache context ----------------------------------------------------
+
+_ACTIVE_CACHE: ContextVar[Optional[ResultCache]] = ContextVar(
+    "repro_active_result_cache", default=None
+)
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The cache installed by the innermost :func:`use_cache`, if any."""
+    return _ACTIVE_CACHE.get()
+
+
+@contextmanager
+def use_cache(cache: Optional[ResultCache]) -> Iterator[Optional[ResultCache]]:
+    """Make ``cache`` ambient for :func:`run_simulation` calls within."""
+    token = _ACTIVE_CACHE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE.reset(token)

@@ -5,6 +5,14 @@ Each function runs the required simulations and returns an
 ``instructions`` bounds the simulated region (the paper uses 500M; we
 default to regions that keep a full figure under a few minutes of
 pure-Python simulation — see DESIGN.md on scaling).
+
+Every simulation goes through :func:`run_simulation`, which honours an
+ambient :class:`~repro.experiments.cache.ResultCache` (see
+:func:`~repro.experiments.cache.use_cache`): regenerating a figure
+after an edit re-runs only the changed points. :func:`figure_specs`
+enumerates the exact spec list a generator will request, so the CLI can
+warm the cache with a parallel batch (``repro figure --jobs N``) before
+the generator assembles rows serially from cache hits.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..config import CoreConfig, SimConfig
+from ..errors import ReproError
 from ..observability import subtree
 from ..workloads import GAP_WORKLOADS, HPC_DB_WORKLOADS, WORKLOAD_NAMES
 from .report import ExperimentResult, harmonic_mean
@@ -48,6 +57,91 @@ def _sweep_config(rob: int, scale_backend: bool = True) -> SimConfig:
         else CoreConfig().with_rob(rob)
     )
     return SimConfig().with_core(core)
+
+
+def figure_specs(
+    name: str,
+    workloads: Optional[Sequence[str]] = None,
+    instructions: int = 15_000,
+    rob_sizes: Optional[Sequence[int]] = None,
+    scale_backend: bool = True,
+    inputs: Optional[Sequence[str]] = None,
+    techniques: Optional[Sequence[str]] = None,
+) -> List[Dict]:
+    """Enumerate the :func:`run_simulation` specs ``name`` will request.
+
+    Mirrors each generator's loop structure exactly (same configs, same
+    kwargs), so running the returned specs through ``run_batch`` with a
+    cache makes the subsequent generator call hit on every point. Keep
+    the two in sync when editing a generator.
+    """
+    specs: List[Dict] = []
+    if name in ("figure2", "figure12"):
+        tech = "vr" if name == "figure2" else "dvr"
+        names = _default(workloads, SWEEP_WORKLOADS)
+        robs = list(rob_sizes or ROB_SIZES)
+        for wl in names:
+            specs.append(
+                {
+                    "workload": wl,
+                    "technique": "ooo",
+                    "config": _sweep_config(BASELINE_ROB, scale_backend),
+                    "max_instructions": instructions,
+                }
+            )
+            for rob in robs:
+                cfg = _sweep_config(rob, scale_backend)
+                if rob != BASELINE_ROB:
+                    specs.append(
+                        {
+                            "workload": wl,
+                            "technique": "ooo",
+                            "config": cfg,
+                            "max_instructions": instructions,
+                        }
+                    )
+                specs.append(
+                    {
+                        "workload": wl,
+                        "technique": tech,
+                        "config": cfg,
+                        "max_instructions": instructions,
+                    }
+                )
+    elif name == "figure7":
+        techs = list(techniques or ("pre", "imp", "vr", "dvr", "oracle"))
+        for wl in _default(workloads, WORKLOAD_NAMES):
+            input_list = list(inputs) if (wl in GAP_WORKLOADS and inputs) else [None]
+            for input_name in input_list:
+                for tech in ["ooo"] + techs:
+                    specs.append(
+                        {
+                            "workload": wl,
+                            "technique": tech,
+                            "max_instructions": instructions,
+                            "input_name": input_name,
+                        }
+                    )
+    elif name == "figure8":
+        for wl in _default(workloads, SWEEP_WORKLOADS + ["cc", "kangaroo"]):
+            for tech in ("ooo", "vr", "dvr-offload", "dvr-discovery", "dvr"):
+                specs.append(
+                    {"workload": wl, "technique": tech, "max_instructions": instructions}
+                )
+    elif name in ("figure9", "figure10"):
+        for wl in _default(workloads, WORKLOAD_NAMES):
+            for tech in ("ooo", "vr", "dvr"):
+                specs.append(
+                    {"workload": wl, "technique": tech, "max_instructions": instructions}
+                )
+    elif name == "figure11":
+        for wl in _default(workloads, WORKLOAD_NAMES):
+            specs.append(
+                {"workload": wl, "technique": "dvr", "max_instructions": instructions}
+            )
+    else:
+        raise ReproError(f"no spec enumeration for figure {name!r}")
+    return specs
 
 
 def figure2(

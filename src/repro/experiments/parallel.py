@@ -1,93 +1,13 @@
-"""Parallel batch execution of independent simulations.
+"""Backwards-compatible alias for :mod:`repro.experiments.batch`.
 
-Every run in a figure is independent (fresh workload, fresh core), so a
-figure's wall-clock is trivially divisible across cores. ``run_batch``
-executes a list of :func:`run_simulation` keyword-argument dicts, in
-order, optionally across a process pool::
-
-    specs = [
-        {"workload": "camel", "technique": t, "max_instructions": 10_000}
-        for t in ("ooo", "vr", "dvr")
-    ]
-    results = run_batch(specs, jobs=4)
-
-Results come back in spec order regardless of completion order, and are
-bit-identical to serial execution (the simulator is deterministic and
-each run is hermetic).
+The parallel execution layer was rewritten as a fault-tolerant,
+cache-accelerated batch runner; the implementation now lives in
+``repro.experiments.batch``. This module keeps the historical import
+path (``from repro.experiments.parallel import run_batch``) working.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Dict, List, Optional, Sequence
+from .batch import BatchFailure, run_batch, speedup_matrix
 
-from ..core.ooo import SimulationResult
-from ..errors import ReproError
-from .runner import run_simulation
-
-
-def _worker(spec: Dict) -> SimulationResult:
-    return run_simulation(**spec)
-
-
-def run_batch(
-    specs: Sequence[Dict],
-    jobs: Optional[int] = None,
-) -> List[SimulationResult]:
-    """Run every spec; ``jobs`` > 1 uses a process pool.
-
-    ``jobs=None`` or ``jobs=1`` runs serially (no subprocess overhead —
-    the right choice for small batches and inside test suites).
-    """
-    if jobs is not None and (
-        isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1
-    ):
-        raise ReproError(
-            f"run_batch jobs must be None or a positive integer, got {jobs!r}"
-        )
-    specs = list(specs)
-    if jobs is None or jobs <= 1 or len(specs) <= 1:
-        return [run_simulation(**spec) for spec in specs]
-    jobs = min(jobs, len(specs))
-    # Prefer fork where available: it does not re-import __main__, so
-    # run_batch works from scripts, notebooks, and the REPL alike.
-    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
-    context = multiprocessing.get_context(method)
-    with context.Pool(jobs) as pool:
-        return pool.map(_worker, specs)
-
-
-def speedup_matrix(
-    workloads: Sequence[str],
-    techniques: Sequence[str],
-    instructions: int = 10_000,
-    jobs: Optional[int] = None,
-) -> Dict[str, Dict[str, float]]:
-    """Convenience: {workload: {technique: speedup-over-ooo}} computed
-    with one parallel batch (baseline included automatically)."""
-    specs: List[Dict] = []
-    for workload in workloads:
-        specs.append(
-            {"workload": workload, "technique": "ooo", "max_instructions": instructions}
-        )
-        for technique in techniques:
-            specs.append(
-                {
-                    "workload": workload,
-                    "technique": technique,
-                    "max_instructions": instructions,
-                }
-            )
-    results = run_batch(specs, jobs=jobs)
-    matrix: Dict[str, Dict[str, float]] = {}
-    cursor = 0
-    for workload in workloads:
-        baseline = results[cursor]
-        cursor += 1
-        row: Dict[str, float] = {}
-        for technique in techniques:
-            result = results[cursor]
-            cursor += 1
-            row[technique] = result.ipc / baseline.ipc if baseline.ipc else 0.0
-        matrix[workload] = row
-    return matrix
+__all__ = ["BatchFailure", "run_batch", "speedup_matrix"]

@@ -10,6 +10,8 @@ from ..isa.swpf import insert_software_prefetches
 from ..observability import Observability
 from ..techniques import make_technique
 from ..workloads import build_workload
+from ..workloads.registry import workload_accepts_input_name
+from .cache import BATCH_COUNTERS, active_cache, resolved_spec_key
 
 #: Pseudo-technique: the CGO 2017 software-prefetching compiler pass
 #: applied to the workload, run on the plain OoO core.
@@ -30,10 +32,12 @@ def run_simulation(
 ) -> SimulationResult:
     """Build a fresh workload and simulate it under one technique.
 
-    ``input_name`` selects the Table 2 graph profile for GAP kernels
-    (ignored by the hpc-db set). ``seed`` re-rolls the workload's input
-    data (for multi-seed experiments). ``max_instructions`` overrides
-    the config's region length.
+    ``input_name`` selects the Table 2 graph profile for GAP kernels;
+    the workload registry decides whether a workload takes one (the
+    hpc-db set does not and silently ignores it), so a ``TypeError``
+    raised *inside* workload construction always propagates. ``seed``
+    re-rolls the workload's input data (for multi-seed experiments).
+    ``max_instructions`` overrides the config's region length.
 
     ``trace=True`` records the structured event stream (fetch / issue /
     complete / retire plus runahead and vector-dispatch events) into a
@@ -41,21 +45,43 @@ def run_simulation(
     stable whole-stream digest (``trace_digest``). Callers that need the
     trace contents or profiling hooks pass a pre-built ``observability``
     facade instead, which takes precedence.
+
+    When a :class:`~repro.experiments.cache.ResultCache` is ambient
+    (installed via :func:`~repro.experiments.cache.use_cache`, or by the
+    batch runner / CLI ``--cache`` flags) and no live ``observability``
+    facade was passed, the run is served from — and stored into — the
+    cache, keyed on the resolved config, workload spec, seed, and code
+    fingerprint.
     """
-    kwargs = {"size": size}
-    if input_name is not None:
-        kwargs["input_name"] = input_name
-    if seed is not None:
-        kwargs["seed"] = seed
-    try:
-        wl = build_workload(workload, **kwargs)
-    except TypeError:
-        # hpc-db workloads take no input_name.
-        kwargs.pop("input_name", None)
-        wl = build_workload(workload, **kwargs)
     cfg = config or SimConfig()
     if max_instructions is not None:
         cfg = cfg.with_max_instructions(max_instructions)
+
+    cache = active_cache() if observability is None else None
+    cache_key: Optional[str] = None
+    if cache is not None:
+        cache_key = resolved_spec_key(
+            {
+                "workload": workload,
+                "technique": technique,
+                "config": cfg,
+                "input_name": input_name,
+                "size": size,
+                "seed": seed,
+                "trace": trace,
+                "trace_capacity": trace_capacity,
+            }
+        )
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+    kwargs = {"size": size}
+    if seed is not None:
+        kwargs["seed"] = seed
+    if input_name is not None and workload_accepts_input_name(workload):
+        kwargs["input_name"] = input_name
+    wl = build_workload(workload, **kwargs)
     program = wl.program
     if technique == SOFTWARE_PREFETCH:
         # A compiler transformation, not a hardware technique: insert
@@ -75,7 +101,10 @@ def run_simulation(
         workload_name=wl.name if input_name is None else f"{wl.name}_{input_name}",
         observability=obs,
     )
+    BATCH_COUNTERS.inc("batch.sim.runs")
     result = core.run()
     if technique == SOFTWARE_PREFETCH:
         result.technique = SOFTWARE_PREFETCH
+    if cache is not None and cache_key is not None:
+        cache.put(cache_key, result)
     return result

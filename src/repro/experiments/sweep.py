@@ -11,19 +11,68 @@ Two building blocks beyond the fixed paper figures:
 
 Both return :class:`ExperimentResult` so they print/export like the
 paper figures, and both back the ``repro sweep`` / ``repro compare``
-CLI commands.
+CLI commands. Simulations are dispatched through
+:func:`~repro.experiments.batch.run_batch`, so both accept ``jobs``
+(process-pool width) and ``cache`` (a
+:class:`~repro.experiments.cache.ResultCache` that re-runs only
+changed points). Identical specs are deduplicated by the batch layer —
+an ``ooo`` baseline swept over ``runahead.*`` parameters, which cannot
+affect it, simulates once per seed instead of once per point.
 """
 
 from __future__ import annotations
 
 import statistics
+import warnings
 from dataclasses import is_dataclass, replace
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..config import SimConfig
 from ..errors import ConfigError
+from .batch import run_batch
+from .cache import ResultCache
 from .report import ExperimentResult
-from .runner import run_simulation
+
+_TRUE_TOKENS = frozenset({"true", "t", "yes", "on", "1"})
+_FALSE_TOKENS = frozenset({"false", "f", "no", "off", "0"})
+
+
+def coerce_bool(value: object) -> bool:
+    """Strictly parse a boolean override value.
+
+    ``bool("false")`` is ``True`` in Python, so boolean config fields
+    must never go through a ``type(current)(value)`` cast; the CLI's
+    ``--values false`` arrives as a string and has to mean ``False``.
+    Unparseable values raise :class:`ConfigError` rather than silently
+    flipping a feature on.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        token = value.strip().lower()
+        if token in _TRUE_TOKENS:
+            return True
+        if token in _FALSE_TOKENS:
+            return False
+        raise ConfigError(
+            f"cannot interpret {value!r} as a boolean (use true/false)"
+        )
+    if isinstance(value, (int, float)) and value in (0, 1):
+        return bool(value)
+    raise ConfigError(f"cannot interpret {value!r} as a boolean (use true/false)")
+
+
+def _coerce(path: str, current: object, value: object) -> object:
+    if current is None:
+        return value
+    if isinstance(current, bool):
+        return coerce_bool(value)
+    try:
+        return type(current)(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(
+            f"cannot coerce {value!r} to {type(current).__name__} for {path!r}"
+        ) from exc
 
 
 def apply_override(config: SimConfig, path: str, value) -> SimConfig:
@@ -31,7 +80,9 @@ def apply_override(config: SimConfig, path: str, value) -> SimConfig:
 
     ``apply_override(cfg, "runahead.dvr_lanes", 64)`` and
     ``apply_override(cfg, "max_instructions", 5000)`` both work; every
-    intermediate node must be a (frozen) dataclass field.
+    intermediate node must be a (frozen) dataclass field. Values are
+    coerced to the field's current type; boolean fields parse
+    ``true/false`` tokens strictly (see :func:`coerce_bool`).
     """
     parts = path.split(".")
 
@@ -41,8 +92,7 @@ def apply_override(config: SimConfig, path: str, value) -> SimConfig:
             raise ConfigError(f"no config field {path!r} (failed at {name!r})")
         if len(remaining) == 1:
             current = getattr(node, name)
-            coerced = type(current)(value) if current is not None else value
-            return replace(node, **{name: coerced})
+            return replace(node, **{name: _coerce(path, current, value)})
         child = rebuild(getattr(node, name), remaining[1:])
         return replace(node, **{name: child})
 
@@ -64,31 +114,75 @@ def run_sweep(
     seeds: Optional[Sequence[int]] = None,
     baseline_technique: str = "ooo",
     input_name: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
-    """Sweep one config parameter; rows: value, mean IPC, mean speedup."""
+    """Sweep one config parameter; rows: value, mean IPC, mean speedup.
+
+    A baseline whose behaviour the swept parameter cannot change (the
+    plain ``ooo`` core under a ``runahead.*`` parameter) is simulated
+    with the *unmodified* config, so the batch layer runs it once per
+    seed and every swept point reuses it. A baseline that commits zero
+    instructions at some point yields a speedup of 0.0 there, with a
+    ``RuntimeWarning`` — the sweep completes instead of crashing.
+    """
     seed_list = _seed_list(seeds)
-    rows: List[List] = []
+    base_config = SimConfig(max_instructions=instructions)
+    # The runahead.* section only parameterises runahead engines; the
+    # plain OoO baseline never reads it.
+    baseline_invariant = (
+        baseline_technique == "ooo" and parameter.split(".", 1)[0] == "runahead"
+    )
+    specs: List[Dict] = []
     for value in values:
-        config = apply_override(SimConfig(max_instructions=instructions), parameter, value)
+        config = apply_override(base_config, parameter, value)
+        baseline_config = base_config if baseline_invariant else config
+        for seed in seed_list:
+            specs.append(
+                {
+                    "workload": workload,
+                    "technique": baseline_technique,
+                    "config": baseline_config,
+                    "input_name": input_name,
+                    "seed": seed,
+                }
+            )
+            specs.append(
+                {
+                    "workload": workload,
+                    "technique": technique,
+                    "config": config,
+                    "input_name": input_name,
+                    "seed": seed,
+                }
+            )
+    results = run_batch(specs, jobs=jobs, cache=cache, strict=True)
+
+    rows: List[List] = []
+    cursor = 0
+    for value in values:
         ipcs: List[float] = []
         speedups: List[float] = []
-        for seed in seed_list:
-            base = run_simulation(
-                workload,
-                baseline_technique,
-                config,
-                input_name=input_name,
-                seed=seed,
-            )
-            result = run_simulation(
-                workload, technique, config, input_name=input_name, seed=seed
-            )
+        for _seed in seed_list:
+            base = results[cursor]
+            result = results[cursor + 1]
+            cursor += 2
             ipcs.append(result.ipc)
             if base.ipc:
                 speedups.append(result.ipc / base.ipc)
-        row: List = [value, statistics.fmean(ipcs), statistics.fmean(speedups)]
+        if speedups:
+            mean_speedup = statistics.fmean(speedups)
+        else:
+            mean_speedup = 0.0
+            warnings.warn(
+                f"baseline {baseline_technique!r} IPC is 0 for every seed at "
+                f"{parameter}={value!r}; reporting speedup 0.0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        row: List = [value, statistics.fmean(ipcs), mean_speedup]
         if len(seed_list) > 1:
-            row.append(statistics.stdev(speedups))
+            row.append(statistics.stdev(speedups) if len(speedups) > 1 else 0.0)
         rows.append(row)
     headers = [parameter, "ipc", f"speedup_vs_{baseline_technique}"]
     if len(seed_list) > 1:
@@ -108,8 +202,15 @@ def compare_techniques(
     instructions: int = 8_000,
     seeds: Optional[Sequence[int]] = None,
     input_name: Optional[str] = None,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> ExperimentResult:
-    """Speedup matrix (mean over seeds; +/- stdev columns when >1 seed)."""
+    """Speedup matrix (mean over seeds; +/- stdev columns when >1 seed).
+
+    The per-seed ``ooo`` baseline is one content-addressed spec, so an
+    ``"ooo"`` entry in ``techniques`` reuses it instead of simulating a
+    second time.
+    """
     seed_list = _seed_list(seeds)
     multi = len(seed_list) > 1
     headers = ["workload"]
@@ -117,30 +218,36 @@ def compare_techniques(
         headers.append(tech)
         if multi:
             headers.append(f"{tech}_stdev")
+    config = SimConfig(max_instructions=instructions)
+    specs: List[Dict] = []
+    for workload in workloads:
+        for tech in ["ooo"] + list(techniques):
+            for seed in seed_list:
+                specs.append(
+                    {
+                        "workload": workload,
+                        "technique": tech,
+                        "config": config,
+                        "input_name": input_name,
+                        "seed": seed,
+                    }
+                )
+    results = run_batch(specs, jobs=jobs, cache=cache, strict=True)
+
     rows: List[List] = []
+    cursor = 0
     for workload in workloads:
         row: List = [workload]
-        per_seed_base = {
-            seed: run_simulation(
-                workload,
-                "ooo",
-                SimConfig(max_instructions=instructions),
-                input_name=input_name,
-                seed=seed,
-            )
-            for seed in seed_list
-        }
+        base_by_seed = {}
+        for seed in seed_list:
+            base_by_seed[seed] = results[cursor]
+            cursor += 1
         for tech in techniques:
             speedups = []
             for seed in seed_list:
-                result = run_simulation(
-                    workload,
-                    tech,
-                    SimConfig(max_instructions=instructions),
-                    input_name=input_name,
-                    seed=seed,
-                )
-                base = per_seed_base[seed]
+                result = results[cursor]
+                cursor += 1
+                base = base_by_seed[seed]
                 speedups.append(result.ipc / base.ipc if base.ipc else 0.0)
             row.append(statistics.fmean(speedups))
             if multi:

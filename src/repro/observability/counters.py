@@ -6,6 +6,10 @@ Every run publishes its microarchitectural statistics into a
     core.commit.instructions      mem.l2.misses
     core.stall.full_rob_cycles    runahead.dvr.spawns
 
+The experiment batch runner publishes its own process-wide family
+(``batch.cache.hits``, ``batch.sim.runs``, ...) through the same
+class — see :data:`repro.experiments.cache.BATCH_COUNTERS`.
+
 The registry is the single surface the experiment harness, the stats
 exporter, and the regression tests read from — components *publish*
 into it (usually in bulk, at interval boundaries and at run end, so the
@@ -85,6 +89,11 @@ class CounterRegistry:
         """Bulk publish: ``{suffix: value}`` under an optional prefix."""
         for key, value in values.items():
             self.set(prefix + key if prefix else key, value)
+
+    def reset(self) -> None:
+        """Drop every counter (process-wide registries — e.g. the batch
+        layer's ``batch.*`` family — reset between logical runs)."""
+        self._counters.clear()
 
     # -- reading --------------------------------------------------------------
 

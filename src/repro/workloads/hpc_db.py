@@ -9,6 +9,7 @@ the same shape every compiler emits for counted loops.
 
 from __future__ import annotations
 
+import functools
 from typing import Dict
 
 import numpy as np
@@ -279,10 +280,12 @@ def build_random_access(size: str = "default", seed: int = 26) -> Workload:
 
 
 def hpc_db_builders() -> Dict[str, object]:
+    # functools.partial (not a lambda) so the registry can inspect the
+    # underlying builder's signature for keyword dispatch.
     return {
         "camel": build_camel,
-        "hj2": lambda **kw: build_hashjoin(2, **kw),
-        "hj8": lambda **kw: build_hashjoin(8, **kw),
+        "hj2": functools.partial(build_hashjoin, 2),
+        "hj8": functools.partial(build_hashjoin, 8),
         "kangaroo": build_kangaroo,
         "nas_cg": build_nas_cg,
         "nas_is": build_nas_is,

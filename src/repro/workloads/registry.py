@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Dict, List
 
 from ..errors import WorkloadError
@@ -28,6 +29,15 @@ _BUILDERS.update(hpc_db_builders())
 _BUILDERS.update(gap_builders())
 
 
+def _get_builder(name: str):
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {sorted(_BUILDERS)}"
+        ) from None
+
+
 def build_workload(name: str, **kwargs) -> Workload:
     """Construct a fresh workload (program + initialised memory) by name.
 
@@ -35,10 +45,20 @@ def build_workload(name: str, **kwargs) -> Workload:
     KR, LJN, ORK, TW, UR) and every workload accepts ``size`` ("default"
     or "tiny" for fast tests).
     """
+    return _get_builder(name)(**kwargs)
+
+
+def workload_accepts_input_name(name: str) -> bool:
+    """Whether ``name``'s builder takes an ``input_name`` keyword.
+
+    Decided from the builder's signature (``functools.partial`` wrappers
+    resolve to the underlying function), so dispatch never needs to
+    probe by raising/catching ``TypeError`` — a genuine ``TypeError``
+    from inside workload construction must propagate, not be retried.
+    """
+    builder = _get_builder(name)
     try:
-        builder = _BUILDERS[name]
-    except KeyError:
-        raise WorkloadError(
-            f"unknown workload {name!r}; choose from {sorted(_BUILDERS)}"
-        ) from None
-    return builder(**kwargs)
+        parameters = inspect.signature(builder).parameters
+    except (TypeError, ValueError):  # exotic callables: assume not
+        return False
+    return "input_name" in parameters

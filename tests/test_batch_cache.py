@@ -1,0 +1,315 @@
+"""Fault-tolerant batch runner + content-addressed result cache tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.config import SimConfig
+from repro.errors import ReproError
+from repro.experiments import (
+    BATCH_COUNTERS,
+    BatchFailure,
+    ResultCache,
+    batch_failures,
+    reset_batch_counters,
+    run_batch,
+    run_simulation,
+    run_sweep,
+    speedup_matrix,
+    successful,
+    use_cache,
+)
+from repro.experiments import batch as batch_module
+from repro.experiments import cache as cache_module
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    reset_batch_counters()
+    yield
+    reset_batch_counters()
+
+
+def _spec(workload="camel", technique="ooo", n=800, **kw):
+    return {"workload": workload, "technique": technique, "max_instructions": n, **kw}
+
+
+BAD_SPEC = {"workload": "no_such_workload", "technique": "ooo", "max_instructions": 800}
+
+
+class TestIsolation:
+    def test_one_poisoned_spec_does_not_sink_serial_batch(self):
+        specs = [_spec(), _spec(technique="dvr"), dict(BAD_SPEC), _spec("nas_is", "dvr")]
+        results = run_batch(specs)
+        assert len(results) == 4
+        failure = results[2]
+        assert isinstance(failure, BatchFailure)
+        assert failure.error_type == "WorkloadError"
+        assert "no_such_workload" in failure.message
+        assert "WorkloadError" in failure.traceback
+        assert len(successful(results)) == 3
+        assert BATCH_COUNTERS.get("batch.failures") == 1
+
+    def test_one_poisoned_spec_does_not_sink_parallel_pool(self):
+        specs = [_spec(), _spec(technique="dvr"), dict(BAD_SPEC), _spec("nas_is", "dvr")]
+        results = run_batch(specs, jobs=2)
+        assert isinstance(results[2], BatchFailure)
+        assert [type(r).__name__ for r in results] == [
+            "SimulationResult", "SimulationResult", "BatchFailure", "SimulationResult",
+        ]
+        assert batch_failures(results)[0].spec["workload"] == "no_such_workload"
+
+    def test_strict_mode_raises_with_worker_traceback(self):
+        with pytest.raises(ReproError, match="no_such_workload"):
+            run_batch([_spec(), dict(BAD_SPEC)], strict=True)
+
+    def test_failure_to_dict_is_json_safe(self):
+        failure = run_batch([dict(BAD_SPEC)])[0]
+        payload = json.loads(json.dumps(failure.to_dict()))
+        assert payload["failure"] is True
+        assert payload["error_type"] == "WorkloadError"
+
+    def test_results_still_bit_identical_to_direct_runs(self):
+        results = run_batch([_spec(), dict(BAD_SPEC)], jobs=2)
+        direct = run_simulation("camel", "ooo", max_instructions=800)
+        assert results[0].to_dict() == direct.to_dict()
+
+
+class TestRetry:
+    def test_transient_pool_death_is_retried(self, monkeypatch):
+        calls = {"n": 0}
+
+        def flaky(items, jobs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("worker died")
+            return [(key, batch_module._execute_spec(spec)) for key, spec in items]
+
+        monkeypatch.setattr(batch_module, "_run_pool", flaky)
+        monkeypatch.setattr(batch_module.time, "sleep", lambda s: None)
+        results = run_batch([_spec(), _spec("nas_is")], jobs=2)
+        assert calls["n"] == 2
+        assert not batch_failures(results)
+        assert BATCH_COUNTERS.get("batch.retries") == 1
+
+    def test_retry_reruns_only_unfinished_specs(self, monkeypatch):
+        executed = []
+
+        def flaky(items, jobs):
+            def gen():
+                key, spec = items[0]
+                executed.append(key)
+                yield key, batch_module._execute_spec(spec)
+                if len(executed) == 1:
+                    raise OSError("died mid-batch")
+
+            return gen()
+
+        monkeypatch.setattr(batch_module, "_run_pool", flaky)
+        monkeypatch.setattr(batch_module.time, "sleep", lambda s: None)
+        results = run_batch([_spec(), _spec("nas_is")], jobs=2)
+        assert not batch_failures(results)
+        # First attempt finished spec 0 then died; the retry ran only spec 1.
+        assert len(executed) == 2
+        assert executed[0] != executed[1]
+
+    def test_exhausted_retries_become_failures_not_hangs(self, monkeypatch):
+        def always_dead(items, jobs):
+            raise OSError("pool is cursed")
+
+        monkeypatch.setattr(batch_module, "_run_pool", always_dead)
+        monkeypatch.setattr(batch_module.time, "sleep", lambda s: None)
+        results = run_batch([_spec(), _spec("nas_is")], jobs=2, retries=2)
+        assert len(batch_failures(results)) == 2
+        failure = results[0]
+        assert failure.error_type == "OSError"
+        assert failure.attempts == 3  # initial + 2 retries
+        assert "giving up" in failure.message
+        assert BATCH_COUNTERS.get("batch.retries") == 2
+
+
+class TestDedup:
+    def test_identical_specs_simulate_once(self):
+        results = run_batch([_spec(), _spec()])
+        assert BATCH_COUNTERS.get("batch.sim.runs") == 1
+        assert BATCH_COUNTERS.get("batch.dedup.reused") == 1
+        assert results[0].to_dict() == results[1].to_dict()
+
+    def test_speedup_matrix_runs_ooo_once_per_workload(self):
+        matrix = speedup_matrix(["nas_is"], ["ooo", "dvr"], instructions=800)
+        # baseline + dvr = 2 simulations; the "ooo" column reuses the baseline.
+        assert BATCH_COUNTERS.get("batch.sim.runs") == 2
+        assert matrix["nas_is"]["ooo"] == pytest.approx(1.0)
+        assert matrix["nas_is"]["dvr"] > 0
+
+    def test_equivalent_explicit_config_and_max_instructions_share_a_key(self):
+        a = cache_module.resolved_spec_key(_spec())
+        b = cache_module.resolved_spec_key(
+            {"workload": "camel", "technique": "ooo",
+             "config": SimConfig(max_instructions=800)}
+        )
+        assert a == b
+
+
+class TestResultCache:
+    def test_hit_miss_roundtrip_bit_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(technique="dvr")
+        first = run_batch([spec], cache=cache)[0]
+        assert (cache.hits, cache.misses, cache.stores) == (0, 1, 1)
+        second = run_batch([spec], cache=cache)[0]
+        assert cache.hits == 1
+        direct = run_simulation(**spec)
+        assert second.to_dict() == first.to_dict() == direct.to_dict()
+        assert BATCH_COUNTERS.get("batch.cache.hits") == 1
+
+    def test_invalidation_on_config_change(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch([_spec()], cache=cache)
+        bigger_rob = {
+            "workload": "camel", "technique": "ooo",
+            "config": SimConfig(max_instructions=800).with_core(
+                SimConfig().core.with_rob(512)
+            ),
+        }
+        run_batch([bigger_rob], cache=cache)
+        assert cache.misses == 2 and cache.hits == 0
+        assert len(cache) == 2
+
+    def test_invalidation_on_code_fingerprint_change(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_batch([_spec()], cache=cache)
+        monkeypatch.setattr(cache_module, "_FINGERPRINT", "pretend-code-edit")
+        run_batch([_spec()], cache=cache)
+        assert cache.misses == 2
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        run_batch([spec], cache=cache)
+        entry = next(tmp_path.glob("*.json"))
+        entry.write_text("{not json")
+        result = run_batch([spec], cache=cache)[0]
+        assert result.ipc > 0
+        assert cache.misses == 2
+
+    def test_traced_and_untraced_runs_have_distinct_keys(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plain = run_batch([_spec()], cache=cache)[0]
+        traced = run_batch([_spec(trace=True)], cache=cache)[0]
+        assert plain.trace_digest is None
+        assert traced.trace_digest is not None
+        # Round-trip the traced entry: digest must survive the cache.
+        again = run_batch([_spec(trace=True)], cache=cache)[0]
+        assert again.trace_digest == traced.trace_digest
+        assert cache.hits == 1
+
+    def test_ambient_cache_serves_run_simulation(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with use_cache(cache):
+            first = run_simulation("camel", "ooo", max_instructions=800)
+            second = run_simulation("camel", "ooo", max_instructions=800)
+        assert cache.hits == 1 and cache.misses == 1
+        assert first.to_dict() == second.to_dict()
+        assert cache_module.active_cache() is None
+
+    def test_second_sweep_invocation_runs_zero_simulations(self, tmp_path):
+        run_sweep(
+            "nas_is", "dvr", "runahead.dvr_lanes", [16, 32],
+            instructions=800, cache=ResultCache(tmp_path),
+        )
+        reset_batch_counters()
+        repeat = run_sweep(
+            "nas_is", "dvr", "runahead.dvr_lanes", [16, 32],
+            instructions=800, cache=ResultCache(tmp_path),
+        )
+        assert BATCH_COUNTERS.get("batch.sim.runs") == 0
+        assert BATCH_COUNTERS.get("batch.cache.misses") == 0
+        assert BATCH_COUNTERS.get("batch.cache.hits") == 3
+        assert repeat.rows[0][1] > 0
+
+
+class TestWorkloadDispatch:
+    def test_registry_reports_input_name_support(self):
+        from repro.workloads.registry import workload_accepts_input_name
+
+        assert workload_accepts_input_name("bfs")
+        assert workload_accepts_input_name("sssp")
+        assert not workload_accepts_input_name("camel")
+        # hj2/hj8 are functools.partial wrappers; the signature must
+        # resolve through them, not report the bare **kwargs.
+        assert not workload_accepts_input_name("hj2")
+
+    def test_unknown_workload_still_raises(self):
+        from repro.errors import WorkloadError
+        from repro.workloads.registry import workload_accepts_input_name
+
+        with pytest.raises(WorkloadError):
+            workload_accepts_input_name("nope")
+
+    def test_genuine_typeerror_in_builder_propagates(self, monkeypatch):
+        from repro.workloads import registry
+
+        def broken_builder(input_name=None, size="default", seed=None):
+            raise TypeError("genuine bug inside workload construction")
+
+        monkeypatch.setitem(registry._BUILDERS, "brokenwl", broken_builder)
+        # The old except-TypeError probe would have retried without
+        # input_name and masked/duplicated this error.
+        with pytest.raises(TypeError, match="genuine bug"):
+            run_simulation("brokenwl", "ooo", max_instructions=100, input_name="KR")
+
+    def test_input_name_silently_ignored_for_hpc_db(self):
+        result = run_simulation("camel", "ooo", max_instructions=800, input_name="KR")
+        assert result.workload == "camel_KR"  # label keeps the requested input
+        baseline = run_simulation("camel", "ooo", max_instructions=800)
+        assert result.ipc == baseline.ipc
+
+
+class TestBatchCLI:
+    def test_batch_command_tolerates_failures(self, tmp_path, capsys):
+        specs = [_spec(), dict(BAD_SPEC)]
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps(specs))
+        code = main(["batch", str(path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "ok   camel/ooo" in out
+        assert "FAIL no_such_workload/ooo" in out
+        assert "1/2 specs succeeded" in out
+
+    def test_batch_command_json_and_overrides(self, tmp_path, capsys):
+        specs = [
+            {
+                "workload": "nas_is",
+                "technique": "dvr",
+                "max_instructions": 800,
+                "overrides": {"runahead.dvr_lanes": 32},
+            }
+        ]
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps(specs))
+        code = main(["batch", str(path), "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["workload"] == "nas_is"
+        assert payload[0]["ipc"] > 0
+
+    def test_batch_command_rejects_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "specs.json"
+        path.write_text("{\"not\": \"a list\"}")
+        assert main(["batch", str(path)]) == 2
+
+    def test_sweep_cache_flag_round_trip(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--workload", "nas_is", "--technique", "dvr",
+            "--param", "runahead.dvr_lanes", "--values", "16",
+            "--instructions", "800", "--cache", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        reset_batch_counters()
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "batch.sim.runs=0" in err
+        assert "batch.cache.misses=0" in err

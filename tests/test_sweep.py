@@ -1,11 +1,21 @@
 """Tests for the generic sweep/compare utilities and config overrides."""
 
+import warnings
+
 import pytest
 
 from repro.cli import main
 from repro.config import SimConfig
 from repro.errors import ConfigError
-from repro.experiments import apply_override, compare_techniques, run_sweep
+from repro.experiments import (
+    BATCH_COUNTERS,
+    apply_override,
+    coerce_bool,
+    compare_techniques,
+    reset_batch_counters,
+    run_sweep,
+)
+from repro.experiments import sweep as sweep_module
 
 
 class TestApplyOverride:
@@ -41,6 +51,32 @@ class TestApplyOverride:
         with pytest.raises(ConfigError):
             apply_override(SimConfig(), "nope.deeper", 1)
 
+    def test_bool_field_parses_false_string(self):
+        # bool("false") is True; the override layer must not fall into
+        # that trap for e.g. --param stride_prefetcher_enabled.
+        cfg = apply_override(SimConfig(), "stride_prefetcher_enabled", "false")
+        assert cfg.stride_prefetcher_enabled is False
+
+    @pytest.mark.parametrize(
+        "token,expected",
+        [("true", True), ("True", True), ("on", True), ("1", True),
+         ("false", False), ("FALSE", False), ("off", False), ("0", False),
+         (0, False), (1, True), (False, False)],
+    )
+    def test_bool_tokens(self, token, expected):
+        cfg = apply_override(SimConfig(), "runahead.nested_enabled", token)
+        assert cfg.runahead.nested_enabled is expected
+        assert coerce_bool(token) is expected
+
+    @pytest.mark.parametrize("token", ["maybe", "2", 7, 1.5, None, "yes!"])
+    def test_unparseable_bool_raises_config_error(self, token):
+        with pytest.raises(ConfigError):
+            apply_override(SimConfig(), "stride_prefetcher_enabled", token)
+
+    def test_failed_numeric_coercion_raises_config_error(self):
+        with pytest.raises(ConfigError):
+            apply_override(SimConfig(), "core.rob_size", "not-a-number")
+
 
 class TestRunSweep:
     def test_sweep_rows_match_values(self):
@@ -70,6 +106,102 @@ class TestRunSweep:
         )
         assert result.headers[-1] == "speedup_stdev"
         assert result.rows[0][-1] >= 0
+
+
+def _fake_result(technique: str, cycles: int, instructions: int):
+    from repro.core.ooo import SimulationResult
+
+    return SimulationResult(
+        workload="fake",
+        technique=technique,
+        instructions=instructions,
+        cycles=cycles,
+        full_rob_stall_cycles=0,
+        stall_episodes=0,
+        commit_block_cycles=0,
+        branch_predictions=0,
+        branch_mispredictions=0,
+        demand_loads=0,
+        demand_level_counts={},
+        dram_by_source={},
+        prefetches_by_source={},
+        timeliness={},
+        mean_mshr_occupancy=0.0,
+    )
+
+
+class TestZeroIpcBaseline:
+    def test_sweep_survives_all_zero_baseline(self, monkeypatch):
+        """A baseline committing zero instructions must warn, not crash
+        with statistics.StatisticsError on fmean([])."""
+
+        def fake_run_batch(specs, **kwargs):
+            return [
+                _fake_result(s["technique"], cycles=0, instructions=0)
+                if s["technique"] == "ooo"
+                else _fake_result(s["technique"], cycles=500, instructions=400)
+                for s in specs
+            ]
+
+        monkeypatch.setattr(sweep_module, "run_batch", fake_run_batch)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = run_sweep(
+                "camel", "dvr", "runahead.dvr_lanes", [16, 32], seeds=[1, 2]
+            )
+        assert [row[0] for row in result.rows] == [16, 32]
+        for row in result.rows:
+            assert row[1] == pytest.approx(0.8)  # technique IPC still reported
+            assert row[2] == 0.0  # speedup falls back to 0.0
+            assert row[3] == 0.0  # stdev column guarded too
+        messages = [str(w.message) for w in caught]
+        assert any("IPC is 0" in m for m in messages)
+
+    def test_partial_zero_baseline_uses_surviving_seeds(self, monkeypatch):
+        seen = {"n": 0}
+
+        def fake_run_batch(specs, **kwargs):
+            out = []
+            for s in specs:
+                if s["technique"] == "ooo":
+                    # First seed's baseline is dead, second is alive.
+                    dead = seen["n"] % 2 == 0
+                    seen["n"] += 1
+                    out.append(
+                        _fake_result("ooo", 0 if dead else 400, 0 if dead else 400)
+                    )
+                else:
+                    out.append(_fake_result(s["technique"], 500, 400))
+            return out
+
+        monkeypatch.setattr(sweep_module, "run_batch", fake_run_batch)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no warning expected here
+            result = run_sweep(
+                "camel", "dvr", "runahead.dvr_lanes", [16], seeds=[1, 2]
+            )
+        assert result.rows[0][2] == pytest.approx(0.8)
+
+
+class TestBaselineReuse:
+    def test_runahead_param_sweep_runs_baseline_once_per_seed(self):
+        reset_batch_counters()
+        run_sweep("nas_is", "dvr", "runahead.dvr_lanes", [16, 32], instructions=800)
+        # 2 dvr points + 1 shared ooo baseline (runahead.* cannot affect it).
+        assert BATCH_COUNTERS.get("batch.sim.runs") == 3
+        assert BATCH_COUNTERS.get("batch.dedup.reused") == 1
+
+    def test_core_param_sweep_still_rebaselines_each_point(self):
+        reset_batch_counters()
+        run_sweep("nas_is", "dvr", "core.rob_size", [64, 128], instructions=800)
+        # core.* changes the baseline too: 2 points x (ooo + dvr).
+        assert BATCH_COUNTERS.get("batch.sim.runs") == 4
+
+    def test_compare_reuses_baseline_for_ooo_column(self):
+        reset_batch_counters()
+        result = compare_techniques(["nas_is"], ["ooo", "dvr"], instructions=800)
+        assert BATCH_COUNTERS.get("batch.sim.runs") == 2
+        assert result.rows[0][1] == pytest.approx(1.0)
 
 
 class TestCompareTechniques:
@@ -126,3 +258,23 @@ class TestCLI:
         assert _parse_value("64") == 64
         assert _parse_value("1.5") == pytest.approx(1.5)
         assert _parse_value("true-ish") == "true-ish"
+
+    def test_value_parsing_bools(self):
+        from repro.cli import _parse_value
+
+        assert _parse_value("true") is True
+        assert _parse_value("True") is True
+        assert _parse_value("false") is False
+        assert _parse_value("FALSE") is False
+
+    def test_sweep_bool_param_end_to_end(self, capsys):
+        code = main(
+            [
+                "sweep", "--workload", "nas_is", "--technique", "dvr",
+                "--param", "stride_prefetcher_enabled", "--values", "false", "true",
+                "--instructions", "800",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stride_prefetcher_enabled" in out
