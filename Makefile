@@ -1,8 +1,9 @@
 # Convenience targets for the repro reproduction.
 
 PYTHON ?= python
+BENCH_ARGS ?= benchmarks/
 
-.PHONY: install test bench figures smoke lint
+.PHONY: install test bench bench-verbose bench-core bench-baseline figures smoke lint
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -11,10 +12,18 @@ test:
 	$(PYTHON) -m pytest tests/ -q
 
 bench:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+	$(PYTHON) -m pytest $(BENCH_ARGS) --benchmark-only -q
 
 bench-verbose:
-	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+	$(PYTHON) -m pytest $(BENCH_ARGS) --benchmark-only -s
+
+# Simulator-throughput harness: gate against the committed baseline,
+# or refresh it after a deliberate perf change (docs/performance.md).
+bench-core:
+	$(PYTHON) -m repro bench --check BENCH_core.json
+
+bench-baseline:
+	$(PYTHON) -m repro bench --json BENCH_core.json
 
 figures:
 	$(PYTHON) -m repro figure figure2
@@ -30,3 +39,6 @@ figures:
 
 smoke:
 	$(PYTHON) examples/quickstart.py 6000
+
+lint:
+	$(PYTHON) -m ruff check --select F401,F841 src/repro

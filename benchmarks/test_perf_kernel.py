@@ -1,0 +1,53 @@
+"""Simulator-throughput benchmarks for the pre-decoded kernel.
+
+Unlike the figure benchmarks (which time whole experiments), these
+measure the simulator's hot paths directly — the kernels behind the
+``repro bench`` CLI subcommand — and report work-units simulated per
+second in ``extra_info``. The final benchmark writes the versioned
+``repro.bench-core/1`` document to ``BENCH_core.json`` in the working
+directory, which CI uploads as an artifact and compares against the
+committed baseline (``repro bench --check``; see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.bench import KERNELS, render_table, run_bench, write_payload
+
+#: The paths named by the perf harness: functional step (reference and
+#: pre-decoded), trace replay, the OoO hot loop, the hierarchy access
+#: path, and the VR vector engine.
+_MEASURED = (
+    "functional_reference",
+    "functional_step",
+    "trace_replay",
+    "ooo_loop",
+    "hierarchy",
+    "vector_engine",
+)
+
+
+@pytest.mark.parametrize("name", _MEASURED)
+def test_kernel_throughput(benchmark, name):
+    fn, default_work, unit = KERNELS[name]
+    target = max(1, default_work // 2)
+    work, seconds = benchmark.pedantic(lambda: fn(target), rounds=3, iterations=1)
+    benchmark.extra_info["work_units"] = work
+    benchmark.extra_info["unit"] = unit
+    benchmark.extra_info["per_second"] = work / seconds if seconds else 0.0
+
+
+def test_bench_payload(benchmark):
+    """One full harness run; writes BENCH_core.json and gates the 2x win."""
+    payload = benchmark.pedantic(
+        lambda: run_bench(scale=0.5, repeats=2), rounds=1, iterations=1
+    )
+    write_payload(payload, "BENCH_core.json")
+    table = render_table(payload)
+    print("\n" + table)
+    benchmark.extra_info["table"] = table
+    # The tentpole claim: the pre-decoded fast path beats the reference
+    # interpreter by >=2x (asserted with headroom for noisy CI hosts).
+    rel = payload["kernels"]["functional_step"]["rel"]
+    assert rel >= 1.5, f"pre-decoded step only {rel:.2f}x the reference"

@@ -196,6 +196,45 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="trace after this many warmup instructions")
     pipe_p.add_argument("--width", type=int, default=100)
 
+    bench_p = sub.add_parser(
+        "bench",
+        help="measure simulator throughput (instructions simulated per second)",
+        description="Times the simulator's hot kernels — functional step"
+        " (reference vs pre-decoded), bulk/pooled loops, trace replay, the"
+        " OoO timing loop, the memory hierarchy, and the VR vector engine —"
+        " and reports work-units per second plus throughput relative to the"
+        " reference interpreter. See docs/performance.md.",
+    )
+    bench_p.add_argument(
+        "--kernels", default=None, metavar="A,B,...",
+        help="comma-separated kernel subset (default: all)",
+    )
+    bench_p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply each kernel's work budget (0.1 = quick smoke)",
+    )
+    bench_p.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    bench_p.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the repro.bench-core/1 payload to FILE",
+    )
+    bench_p.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare against a committed BENCH_core.json; exit 1 on"
+        " regression beyond --tolerance",
+    )
+    bench_p.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional throughput drop vs the baseline",
+    )
+    bench_p.add_argument(
+        "--absolute", action="store_true",
+        help="gate --check on raw per-second throughput instead of the"
+        " machine-independent relative metric",
+    )
+
     hw_p = sub.add_parser(
         "hwcost", help="DVR hardware overhead breakdown (paper Section 4.4)"
     )
@@ -354,6 +393,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(pipeview_legend())
         print(render_pipeview(core.trace[args.skip :], max_width=args.width))
         return 0
+    if args.command == "bench":
+        from .perf.bench import main_bench
+
+        return main_bench(args)
     if args.command == "hwcost":
         from dataclasses import replace as _replace
 

@@ -22,7 +22,15 @@ from typing import Deque, Dict, List, Optional
 from ..config import SimConfig
 from ..errors import SimulationError
 from ..frontend.branch_predictor import TageLitePredictor
-from ..isa.instructions import NUM_REGS, Opcode
+from ..isa.instructions import NUM_REGS
+from ..isa.predecode import (
+    K_BEZ,
+    K_BNZ,
+    K_LOAD,
+    K_PREFETCH,
+    K_STORE,
+    decode_program,
+)
 from ..isa.program import Program
 from ..memory.hierarchy import MemoryHierarchy
 from ..memory.memory_image import MemoryImage
@@ -34,7 +42,6 @@ from .functional import FunctionalCore
 from .ooo import (
     _FU_DIV,
     _FU_MEM,
-    _OP_CLASS,
     _FU_INT,
     SimulationResult,
     publish_core_counters,
@@ -77,6 +84,7 @@ class CycleCore:
         config: Optional[SimConfig] = None,
         workload_name: str = "workload",
         observability: Optional[Observability] = None,
+        functional_source=None,
     ) -> None:
         self.observability = observability
         self.config = config or SimConfig()
@@ -85,7 +93,13 @@ class CycleCore:
         self.workload_name = workload_name
         self.hierarchy = MemoryHierarchy(self.config.memory)
         self.predictor = TageLitePredictor(self.config.branch)
-        self.functional = FunctionalCore(program, memory_image)
+        # ``functional_source`` lets a trace replayer stand in for live
+        # functional execution (same .step() protocol; see repro.perf).
+        self.functional = (
+            functional_source
+            if functional_source is not None
+            else FunctionalCore(program, memory_image)
+        )
         self.l1_stride_prefetcher: Optional[StridePrefetcher] = None
         if self.config.stride_prefetcher_enabled:
             self.l1_stride_prefetcher = StridePrefetcher(
@@ -121,6 +135,26 @@ class CycleCore:
             "fdiv": cfg.fp_div_latency,
         }
 
+        # Pre-decoded arrays and bound methods, hoisted out of the cycle
+        # loop (every site below runs once per cycle or per instruction).
+        decoded = (
+            self.program.decoded()
+            if isinstance(self.program, Program)
+            else decode_program(self.program)
+        )
+        kinds = decoded.kinds
+        fu_classes = decoded.fu_classes
+        op_values = decoded.op_values
+        functional_step = self.functional.step
+        hierarchy = self.hierarchy
+        hierarchy_access = hierarchy.access
+        load_needs_mshr = hierarchy.load_needs_mshr
+        mshr_available = hierarchy.mshr_available
+        is_mapped = self.memory_image.is_mapped
+        predict = self.predictor.predict
+        predictor_update = self.predictor.update
+        stride_pf = self.l1_stride_prefetcher
+
         rob: Deque[_Entry] = deque()
         iq_occupancy = 0
         lq_occupancy = 0
@@ -135,7 +169,6 @@ class CycleCore:
         fetched = 0
         committed = 0
         cycle = 0
-        stall_cycles = 0
         done_fetching = False
         max_cycles = 400 * limit + 100_000  # runaway guard
         obs = self.observability
@@ -146,13 +179,13 @@ class CycleCore:
             commits = 0
             while rob and commits < width and rob[0].state == _DONE:
                 entry = rob.popleft()
+                epc = entry.dyn.pc
                 if event_trace is not None:
-                    event_trace.emit(
-                        cycle, EV_RETIRE, entry.dyn.pc, entry.dyn.instr.opcode.value
-                    )
-                if entry.dyn.instr.is_load:
+                    event_trace.emit(cycle, EV_RETIRE, epc, op_values[epc])
+                ekind = kinds[epc]
+                if ekind == K_LOAD:
                     lq_occupancy -= 1
-                elif entry.dyn.instr.is_store:
+                elif ekind == K_STORE:
                     sq_occupancy -= 1
                 committed += 1
                 commits += 1
@@ -164,9 +197,8 @@ class CycleCore:
                 if entry.state == _ISSUED and entry.complete_cycle <= cycle:
                     entry.state = _DONE
                     if event_trace is not None:
-                        event_trace.emit(
-                            cycle, EV_COMPLETE, entry.dyn.pc, entry.dyn.instr.opcode.value
-                        )
+                        epc = entry.dyn.pc
+                        event_trace.emit(cycle, EV_COMPLETE, epc, op_values[epc])
                     for waiter in consumers.pop(id(entry), []):
                         waiter.deps.discard(id(entry))
                         if not waiter.deps and waiter.state == _WAITING:
@@ -180,36 +212,31 @@ class CycleCore:
                 cls = entry.fu_class
                 if issued_per_class[cls] >= fu_units[cls]:
                     continue
-                op = entry.dyn.instr.opcode
+                epc = entry.dyn.pc
+                ekind = kinds[epc]
                 if cls == _FU_DIV and div_busy_until > cycle:
                     continue
-                if op is Opcode.LOAD:
+                if ekind == K_LOAD:
                     addr = entry.dyn.addr
-                    if self.hierarchy.load_needs_mshr(
-                        addr, cycle
-                    ) and not self.hierarchy.mshr_available(cycle):
+                    if load_needs_mshr(addr, cycle) and not mshr_available(cycle):
                         continue  # retry next cycle
-                    result = self.hierarchy.access(addr, cycle, source="main")
+                    result = hierarchy_access(addr, cycle, source="main")
                     entry.complete_cycle = result.ready
-                    if self.l1_stride_prefetcher is not None:
-                        self.l1_stride_prefetcher.on_demand_load(
-                            entry.dyn.pc, addr, cycle, self.hierarchy
-                        )
-                elif op is Opcode.STORE:
-                    self.hierarchy.access(
-                        entry.dyn.addr, cycle, source="main", write=True
-                    )
+                    if stride_pf is not None:
+                        stride_pf.on_demand_load(epc, addr, cycle, hierarchy)
+                elif ekind == K_STORE:
+                    hierarchy_access(entry.dyn.addr, cycle, source="main", write=True)
                     entry.complete_cycle = cycle + 1
-                elif op is Opcode.PREFETCH:
-                    if entry.dyn.addr is not None and self.memory_image.is_mapped(
-                        entry.dyn.addr
-                    ):
-                        if self.hierarchy.mshr_available(cycle):
-                            self.hierarchy.access(
+                elif ekind == K_PREFETCH:
+                    if entry.dyn.addr is not None and is_mapped(entry.dyn.addr):
+                        if mshr_available(cycle):
+                            hierarchy_access(
                                 entry.dyn.addr, cycle, source="prefetcher", prefetch=True
                             )
                     entry.complete_cycle = cycle + 1
-                elif entry.dyn.instr.is_branch or op in (Opcode.NOP, Opcode.HALT):
+                elif ekind >= K_BNZ:
+                    # Branches (BNZ/BEZ/JMP), NOP and HALT: kind codes 4..8
+                    # are contiguous by construction (see predecode).
                     entry.complete_cycle = cycle + 1
                 else:
                     entry.complete_cycle = cycle + fu_latency[cls]
@@ -217,7 +244,7 @@ class CycleCore:
                         div_busy_until = cycle + fu_latency[cls]
                 entry.state = _ISSUED
                 if event_trace is not None:
-                    event_trace.emit(cycle, EV_ISSUE, entry.dyn.pc, op.value)
+                    event_trace.emit(cycle, EV_ISSUE, epc, op_values[epc])
                 if entry.in_iq:
                     entry.in_iq = False
                     iq_occupancy -= 1
@@ -229,7 +256,6 @@ class CycleCore:
 
             # ---- dispatch (fetch pipe -> ROB/IQ/LSQ) ----
             dispatched = 0
-            progress = False
             while (
                 fetch_pipe
                 and dispatched < width
@@ -238,14 +264,16 @@ class CycleCore:
                 and fetch_pipe[0][1] <= cycle
             ):
                 dyn, _ = fetch_pipe[0]
-                instr = dyn.instr
-                if instr.is_load and lq_occupancy >= cfg.lq_size:
+                dpc = dyn.pc
+                dkind = kinds[dpc]
+                if dkind == K_LOAD and lq_occupancy >= cfg.lq_size:
                     break
-                if instr.is_store and sq_occupancy >= cfg.sq_size:
+                if dkind == K_STORE and sq_occupancy >= cfg.sq_size:
                     break
                 fetch_pipe.popleft()
+                instr = dyn.instr
                 deps = set()
-                entry = _Entry(dyn, deps, _OP_CLASS.get(instr.opcode, _FU_INT))
+                entry = _Entry(dyn, deps, fu_classes[dpc])
                 for src in instr.sources():
                     producer = reg_producer[src]
                     if producer is not None and producer.state != _DONE:
@@ -256,30 +284,30 @@ class CycleCore:
                     reg_producer[instr.rd] = entry
                 rob.append(entry)
                 iq_occupancy += 1
-                if instr.is_load:
+                if dkind == K_LOAD:
                     lq_occupancy += 1
-                elif instr.is_store:
+                elif dkind == K_STORE:
                     sq_occupancy += 1
                 dispatched += 1
-                progress = True
 
             # ---- fetch ----
             if not done_fetching and fetch_stalled_on is None and cycle >= fetch_stalled_until:
                 for _ in range(width):
                     if fetched >= limit or len(fetch_pipe) >= 2 * width * cfg.frontend_stages:
                         break
-                    dyn = self.functional.step()
+                    dyn = functional_step()
                     if dyn is None:
                         done_fetching = True
                         break
                     fetched += 1
                     fetch_pipe.append((dyn, cycle + cfg.frontend_stages))
-                    instr = dyn.instr
+                    fpc = dyn.pc
+                    fkind = kinds[fpc]
                     if event_trace is not None:
-                        event_trace.emit(cycle, EV_FETCH, dyn.pc, instr.opcode.value)
-                    if instr.is_conditional_branch:
-                        predicted = self.predictor.predict(dyn.pc)
-                        self.predictor.update(dyn.pc, dyn.taken, predicted)
+                        event_trace.emit(cycle, EV_FETCH, fpc, op_values[fpc])
+                    if fkind == K_BNZ or fkind == K_BEZ:
+                        predicted = predict(fpc)
+                        predictor_update(fpc, dyn.taken, predicted)
                         if predicted != dyn.taken:
                             # Stall fetch until this branch executes.
                             fetch_stalled_on = None
@@ -299,8 +327,6 @@ class CycleCore:
                         self._pending_branch_dyn = None
                         break
 
-            if rob and rob[0].state != _DONE:
-                stall_cycles += 0  # placeholder for symmetry
             if not rob and not fetch_pipe and done_fetching:
                 break
             cycle += 1

@@ -5,6 +5,19 @@ The timing core is execution-driven at fetch: each call to
 returns its :class:`DynInstr`. Stores update the shared memory image
 immediately, so speculative interpreters (runahead engines) observe
 memory as of the fetch point — see DESIGN.md for why this is faithful.
+
+Two implementations of the same semantics live here:
+
+* :meth:`FunctionalCore.step` — the fast path. It executes the
+  pre-decoded program (:mod:`repro.isa.predecode`): one list index
+  selects a per-PC specialized closure, so there is no per-step opcode
+  dispatch, no ``Instruction`` attribute chasing, and no repeated
+  ``len(program)`` bounds recomputation.
+* :meth:`FunctionalCore.step_reference` — the original interpreter,
+  kept verbatim as the executable specification. The differential
+  property suite (``tests/test_predecode_replay.py``) asserts both
+  produce identical :class:`DynInstr` streams over random programs, and
+  the ``repro bench`` harness measures the fast path against it.
 """
 
 from __future__ import annotations
@@ -37,9 +50,40 @@ class FunctionalCore:
             raise SimulationError("initial register file has wrong size")
         self.halted = False
         self.executed = 0
+        # Pre-decoded fast path: hoisted once, shared across every core
+        # that runs this program (decode is cached on the Program).
+        decoded = program.decoded() if isinstance(program, Program) else None
+        if decoded is None:
+            from ..isa.predecode import decode_program
+
+            decoded = decode_program(program)
+        self._handlers = decoded.handlers
+        self._instrs = decoded.instrs
+        self._plen = len(decoded.instrs)
 
     def step(self) -> Optional[DynInstr]:
         """Execute one instruction; None once the program has halted."""
+        if self.halted:
+            return None
+        pc = self.pc
+        if 0 <= pc < self._plen:
+            value, addr, taken, next_pc = self._handlers[pc](self.regs, self.memory)
+        else:
+            raise SimulationError(f"PC out of range: {pc}")
+        seq = self.executed
+        self.executed = seq + 1
+        if next_pc is None:
+            self.halted = True
+            return DynInstr(seq, pc, self._instrs[pc], next_pc=pc)
+        self.pc = next_pc
+        return DynInstr(seq, pc, self._instrs[pc], value, addr, taken, next_pc)
+
+    def step_reference(self) -> Optional[DynInstr]:
+        """The original (un-predecoded) interpreter, kept as the spec.
+
+        Bit-identical to :meth:`step`; used by the differential tests
+        and as the baseline of the ``repro bench`` functional kernel.
+        """
         if self.halted:
             return None
         if not 0 <= self.pc < len(self.program):
@@ -92,11 +136,35 @@ class FunctionalCore:
         return DynInstr(seq, pc, instr, value=value, addr=addr, taken=taken, next_pc=next_pc)
 
     def run_to_completion(self, max_instructions: int = 10_000_000) -> int:
-        """Run functionally only (no timing); returns instruction count."""
-        while not self.halted:
-            if self.executed >= max_instructions:
-                raise SimulationError(
-                    f"program did not halt within {max_instructions} instructions"
-                )
-            self.step()
-        return self.executed
+        """Run functionally only (no timing); returns instruction count.
+
+        This path needs no :class:`DynInstr` records at all, so it runs
+        the handlers directly with everything hoisted into locals —
+        the alloc-free bulk loop of the pre-decoded kernel.
+        """
+        handlers = self._handlers
+        regs = self.regs
+        memory = self.memory
+        plen = self._plen
+        pc = self.pc
+        executed = self.executed
+        try:
+            while not self.halted:
+                if executed >= max_instructions:
+                    raise SimulationError(
+                        f"program did not halt within {max_instructions} instructions"
+                    )
+                if not 0 <= pc < plen:
+                    raise SimulationError(f"PC out of range: {pc}")
+                next_pc = handlers[pc](regs, memory)[3]
+                executed += 1
+                if next_pc is None:
+                    self.halted = True
+                    break
+                pc = next_pc
+        finally:
+            # Keep observable state consistent even if a handler raised
+            # (unmapped store, type error from garbage register values).
+            self.pc = pc
+            self.executed = executed
+        return executed

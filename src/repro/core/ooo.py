@@ -29,11 +29,27 @@ from typing import Dict, Optional
 from ..config import SimConfig
 from ..errors import SimulationError
 from ..frontend.branch_predictor import TageLitePredictor
-from ..isa.instructions import NUM_REGS, Opcode
+from ..isa.instructions import NUM_REGS
+from ..isa.predecode import (
+    FU_FADD,
+    FU_FDIV,
+    FU_FMUL,
+    FU_INT,
+    FU_MEM,
+    FU_MUL,
+    FU_DIV,
+    K_ALU,
+    K_BEZ,
+    K_BNZ,
+    K_LOAD,
+    K_PREFETCH,
+    K_STORE,
+    OP_FU_CLASS,
+    decode_program,
+)
 from ..isa.program import Program
 from ..memory.hierarchy import (
     LEVEL_DRAM,
-    LEVEL_L1,
     LEVEL_MSHR,
     HierarchyStats,
     MemoryHierarchy,
@@ -53,21 +69,27 @@ from .functional import FunctionalCore
 
 
 def _dict_delta(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
-    """Per-key difference of two counter dictionaries (ROI accounting)."""
+    """Per-key difference of two counter dictionaries (ROI accounting).
+
+    Iterates the union of both key sets: a counter present only in
+    ``before`` (e.g. a level bucket seen during warmup but never again
+    in the ROI) must surface as a negative delta, not silently vanish.
+    """
     return {
-        key: after.get(key, 0) - before.get(key, 0)
-        for key in after
-        if after.get(key, 0) - before.get(key, 0)
+        key: delta
+        for key in after.keys() | before.keys()
+        if (delta := after.get(key, 0) - before.get(key, 0))
     }
 
-# Functional-unit class per opcode (latency resolved from CoreConfig).
-_FU_INT = "int"
-_FU_MUL = "mul"
-_FU_DIV = "div"
-_FU_FADD = "fadd"
-_FU_FMUL = "fmul"
-_FU_FDIV = "fdiv"
-_FU_MEM = "mem"
+# Functional-unit classes (canonical definitions live with the
+# pre-decoder; re-exported here under their historical names).
+_FU_INT = FU_INT
+_FU_MUL = FU_MUL
+_FU_DIV = FU_DIV
+_FU_FADD = FU_FADD
+_FU_FMUL = FU_FMUL
+_FU_FDIV = FU_FDIV
+_FU_MEM = FU_MEM
 
 # CPI-stack buckets for loads, by hierarchy service level.
 _MEM_BUCKETS = {
@@ -104,17 +126,7 @@ def publish_core_counters(
         registry.set(f"core.cpi_stack.{bucket}", value)
 
 
-_OP_CLASS = {
-    Opcode.MUL: _FU_MUL,
-    Opcode.HASH: _FU_MUL,
-    Opcode.DIV: _FU_DIV,
-    Opcode.FADD: _FU_FADD,
-    Opcode.FMUL: _FU_FMUL,
-    Opcode.FDIV: _FU_FDIV,
-    Opcode.LOAD: _FU_MEM,
-    Opcode.STORE: _FU_MEM,
-    Opcode.PREFETCH: _FU_MEM,
-}
+_OP_CLASS = OP_FU_CLASS
 
 
 @dataclass
@@ -221,6 +233,7 @@ class OoOCore:
         workload_name: str = "workload",
         trace_limit: int = 0,
         observability: Optional[Observability] = None,
+        functional_source=None,
     ) -> None:
         self.config = config or SimConfig()
         self.program = program
@@ -231,7 +244,16 @@ class OoOCore:
             self.config.memory, ideal=self.technique.wants_ideal_memory
         )
         self.predictor = TageLitePredictor(self.config.branch)
-        self.functional = FunctionalCore(program, memory_image)
+        #: The stream of architecturally executed instructions. By
+        #: default a live interpreter; a trace capture/replay source
+        #: (see ``repro.perf.trace``) may stand in — it must provide the
+        #: same ``step()`` contract including store-at-fetch memory
+        #: updates.
+        self.functional = (
+            functional_source
+            if functional_source is not None
+            else FunctionalCore(program, memory_image)
+        )
         self.l1_stride_prefetcher: Optional[StridePrefetcher] = None
         if self.config.stride_prefetcher_enabled:
             self.l1_stride_prefetcher = StridePrefetcher(
@@ -307,9 +329,33 @@ class OoOCore:
         predictor = self.predictor
         stride_pf = self.l1_stride_prefetcher
 
+        # Pre-decoded per-PC arrays and hoisted bound methods: the loop
+        # below runs once per dynamic instruction, so every attribute
+        # lookup and Opcode-enum comparison it avoids is paid millions
+        # of times over a long run.
+        decoded = (
+            self.program.decoded()
+            if isinstance(self.program, Program)
+            else decode_program(self.program)
+        )
+        kinds = decoded.kinds
+        fu_classes = decoded.fu_classes
+        op_values = decoded.op_values
+        rd_of = decoded.rd
+        rs1_of = decoded.rs1
+        rs2_of = decoded.rs2
+        functional_step = self.functional.step
+        mshr_available = hierarchy.mshr_available
+        load_needs_mshr = hierarchy.load_needs_mshr
+        hierarchy_access = hierarchy.access
+        is_mapped = self.memory_image.is_mapped
+        predict = predictor.predict
+        predictor_update = predictor.update
+        technique_on_commit = technique.on_commit
+        trace_limit = self.trace_limit
+
         next_fetch = 0
         prev_commit = 0
-        loads_seen = 0
         stores_seen = 0
         full_rob_stall_cycles = 0
         stall_episodes = 0
@@ -349,11 +395,11 @@ class OoOCore:
             technique.publish_counters(registry)
 
         while i < limit:
-            dyn = self.functional.step()
+            dyn = functional_step()
             if dyn is None:
                 break
-            instr = dyn.instr
-            op = instr.opcode
+            pc = dyn.pc
+            kind = kinds[pc]
 
             # ---- fetch ----
             fetch = next_fetch
@@ -372,9 +418,9 @@ class OoOCore:
             head_was_miss = False
             if len(iq_heap) >= iq_size and iq_heap[0] > backend_constraint:
                 backend_constraint = iq_heap[0]
-            if op is Opcode.LOAD and len(lq_heap) >= lq_size and lq_heap[0] > backend_constraint:
+            if kind == K_LOAD and len(lq_heap) >= lq_size and lq_heap[0] > backend_constraint:
                 backend_constraint = lq_heap[0]
-            if op is Opcode.STORE and stores_seen >= sq_size:
+            if kind == K_STORE and stores_seen >= sq_size:
                 constraint = sq_ring[stores_seen % sq_size]
                 if constraint > backend_constraint:
                     backend_constraint = constraint
@@ -408,15 +454,15 @@ class OoOCore:
 
             # ---- register readiness ----
             ready = dispatch
-            rs1 = instr.rs1
-            rs2 = instr.rs2
+            rs1 = rs1_of[pc]
+            rs2 = rs2_of[pc]
             if rs1 is not None and reg_ready[rs1] > ready:
                 ready = reg_ready[rs1]
             if rs2 is not None and reg_ready[rs2] > ready:
                 ready = reg_ready[rs2]
 
             # ---- issue + execute ----
-            fu_class = _OP_CLASS.get(op, _FU_INT)
+            fu_class = fu_classes[pc]
             busy = fu_busy[fu_class]
             capacity = fu_units[fu_class]
             issue = ready
@@ -430,55 +476,55 @@ class OoOCore:
                     busy[issue + extra] = busy.get(issue + extra, 0) + 1
 
             was_memory_miss = False
-            if op is Opcode.LOAD:
+            if kind == K_LOAD:
                 technique.advance_to(issue)
                 addr = dyn.addr
                 # The load leaves the IQ at issue; if every MSHR is busy it
                 # waits in the LSQ for one to free before accessing memory.
                 mem_start = issue
-                if hierarchy.load_needs_mshr(addr, issue) and not hierarchy.mshr_available(issue):
+                if load_needs_mshr(addr, issue) and not mshr_available(issue):
                     wait = hierarchy.mshr_next_free(issue)
                     if wait > mem_start:
                         mem_start = wait
-                result = hierarchy.access(addr, mem_start, source="main")
+                result = hierarchy_access(addr, mem_start, source="main")
                 complete = result.ready
                 was_memory_miss = result.level in (LEVEL_DRAM, LEVEL_MSHR)
                 if was_memory_miss and complete > last_miss_complete:
                     last_miss_complete = complete
                 if stride_pf is not None:
-                    stride_pf.on_demand_load(dyn.pc, addr, mem_start, hierarchy)
+                    stride_pf.on_demand_load(pc, addr, mem_start, hierarchy)
                 technique.on_demand_load(dyn, mem_start, result)
                 heapq.heappush(lq_heap, complete)
                 if len(lq_heap) > lq_size:
                     heapq.heappop(lq_heap)
-                loads_seen += 1
-            elif op is Opcode.STORE:
-                hierarchy.access(dyn.addr, issue, source="main", write=True)
+            elif kind == K_ALU:
+                complete = issue + fu_latency[fu_class]
+            elif kind == K_STORE:
+                hierarchy_access(dyn.addr, issue, source="main", write=True)
                 complete = issue + 1
-            elif op is Opcode.PREFETCH:
-                if (
-                    dyn.addr is not None
-                    and self.memory_image.is_mapped(dyn.addr)
-                    and hierarchy.mshr_available(issue)
-                ):
-                    hierarchy.access(
-                        dyn.addr, issue, source="prefetcher", prefetch=True
-                    )
+            elif kind == K_BNZ or kind == K_BEZ:
                 complete = issue + 1
-            elif op in (Opcode.BNZ, Opcode.BEZ):
-                complete = issue + 1
-                predicted = predictor.predict(dyn.pc)
-                predictor.update(dyn.pc, dyn.taken, predicted)
+                predicted = predict(pc)
+                predictor_update(pc, dyn.taken, predicted)
                 if predicted != dyn.taken:
                     # Redirect: fetch restarts after the branch resolves.
                     redirect = complete + 1
                     if redirect > next_fetch:
                         next_fetch = redirect
                         last_redirect_cycle = redirect
-            elif op in (Opcode.JMP, Opcode.NOP, Opcode.HALT):
+            elif kind == K_PREFETCH:
+                if (
+                    dyn.addr is not None
+                    and is_mapped(dyn.addr)
+                    and mshr_available(issue)
+                ):
+                    hierarchy_access(
+                        dyn.addr, issue, source="prefetcher", prefetch=True
+                    )
                 complete = issue + 1
             else:
-                complete = issue + fu_latency[fu_class]
+                # JMP / NOP / HALT
+                complete = issue + 1
 
             # ---- in-order commit ----
             commit_floor = prev_commit
@@ -504,7 +550,7 @@ class OoOCore:
                 if technique_blocked:
                     bucket = "runahead_block"
                 elif commit == complete + 1:
-                    if op is Opcode.LOAD:
+                    if kind == K_LOAD:
                         bucket = _MEM_BUCKETS.get(result.level, "mem_dram")
                     elif fetch == last_redirect_cycle:
                         bucket = "branch"
@@ -526,25 +572,25 @@ class OoOCore:
             heapq.heappush(iq_heap, issue)
             if len(iq_heap) > iq_size:
                 heapq.heappop(iq_heap)
-            if op is Opcode.STORE:
+            if kind == K_STORE:
                 sq_ring[stores_seen % sq_size] = commit
                 stores_seen += 1
-            rd = instr.rd
+            rd = rd_of[pc]
             if rd is not None:
                 reg_ready[rd] = complete
 
-            if i < self.trace_limit:
+            if i < trace_limit:
                 self.trace.append(
-                    (i, dyn.pc, op.name, fetch, dispatch, ready, issue, complete, commit)
+                    (i, pc, dyn.instr.opcode.name,
+                     fetch, dispatch, ready, issue, complete, commit)
                 )
             if event_trace is not None:
-                pc = dyn.pc
-                opv = op.value
+                opv = op_values[pc]
                 event_trace.emit(fetch, EV_FETCH, pc, opv)
                 event_trace.emit(issue, EV_ISSUE, pc, opv)
                 event_trace.emit(complete, EV_COMPLETE, pc, opv)
                 event_trace.emit(commit, EV_RETIRE, pc, opv)
-            technique.on_commit(dyn, commit, complete)
+            technique_on_commit(dyn, commit, complete)
             i += 1
             if fire_hooks:
                 obs.maybe_fire(i, prev_commit, publish_live)

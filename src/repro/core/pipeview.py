@@ -21,7 +21,7 @@ changed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 TraceRow = Tuple[int, int, str, int, int, int, int, int, int]
 

@@ -42,11 +42,13 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback as traceback_module
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.ooo import SimulationResult
 from ..errors import ReproError
+from ..perf.trace import use_trace_dir
 from .cache import (
     BATCH_COUNTERS,
     ResultCache,
@@ -240,11 +242,22 @@ def run_batch(
             pending.append((key, spec))
 
     if pending:
-        if jobs is None or jobs <= 1 or len(pending) <= 1:
-            for key, spec in pending:
-                outcomes[key] = _execute_spec(spec)
-        else:
-            _run_pending_parallel(pending, jobs, outcomes, retries, retry_backoff)
+        # With a cache attached, captured architectural traces persist
+        # next to the results (cache.root/traces). The module-level
+        # trace dir is installed before the pool forks, so workers
+        # inherit it and share streams across processes. Without a
+        # cache, any ambient trace store is left untouched.
+        trace_ctx = (
+            use_trace_dir(cache.root / "traces")
+            if cache is not None
+            else nullcontext()
+        )
+        with trace_ctx:
+            if jobs is None or jobs <= 1 or len(pending) <= 1:
+                for key, spec in pending:
+                    outcomes[key] = _execute_spec(spec)
+            else:
+                _run_pending_parallel(pending, jobs, outcomes, retries, retry_backoff)
         if cache is not None:
             for key, spec in pending:
                 outcome = outcomes.get(key)

@@ -67,6 +67,8 @@ BATCH_COUNTER_NAMES = (
     "batch.dedup.reused",
     "batch.retries",
     "batch.failures",
+    "batch.trace.captures",
+    "batch.trace.replays",
 )
 
 
@@ -155,7 +157,7 @@ def resolve_spec(spec: Dict) -> Dict:
     }
     extras = {
         key: value for key, value in spec.items()
-        if key not in _IDENTITY_KEYS and key != "observability"
+        if key not in _IDENTITY_KEYS and key not in ("observability", "replay")
     }
     if extras:
         resolved["extras"] = canonical_spec(extras)

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence
 from ..config import CoreConfig, SimConfig
 from ..errors import ReproError
 from ..observability import subtree
-from ..workloads import GAP_WORKLOADS, HPC_DB_WORKLOADS, WORKLOAD_NAMES
+from ..workloads import GAP_WORKLOADS, WORKLOAD_NAMES
 from .report import ExperimentResult, harmonic_mean
 from .runner import run_simulation
 

@@ -5,9 +5,19 @@ from __future__ import annotations
 from typing import Optional
 
 from ..config import SimConfig
+from ..core.functional import FunctionalCore
 from ..core.ooo import OoOCore, SimulationResult
+from ..errors import ReproError
 from ..isa.swpf import insert_software_prefetches
 from ..observability import Observability
+from ..perf.trace import (
+    CAPTURE_LIMIT,
+    CaptureSource,
+    ReplaySource,
+    arch_trace_key,
+    load_trace,
+    store_trace,
+)
 from ..techniques import make_technique
 from ..workloads import build_workload
 from ..workloads.registry import workload_accepts_input_name
@@ -29,6 +39,7 @@ def run_simulation(
     trace: bool = False,
     trace_capacity: int = 65_536,
     observability: Optional[Observability] = None,
+    replay: str = "auto",
 ) -> SimulationResult:
     """Build a fresh workload and simulate it under one technique.
 
@@ -52,7 +63,21 @@ def run_simulation(
     facade was passed, the run is served from — and stored into — the
     cache, keyed on the resolved config, workload spec, seed, and code
     fingerprint.
+
+    ``replay`` controls architectural trace sharing (``repro.perf``):
+    with the default ``"auto"``, the technique-independent functional
+    stream is captured once per (workload, input, size, seed, limit,
+    program stream) and replayed into every later run of the same
+    stream — so comparing four techniques over one workload executes
+    the program functionally once, not four times. Replay is exact:
+    identical ``DynInstr`` fields, identical memory-image evolution
+    (stores are re-applied at fetch time), identical trace digests.
+    ``replay="off"`` always executes functionally. The flag never
+    participates in cache identity (replayed and live runs are
+    bit-identical by construction).
     """
+    if replay not in ("auto", "off"):
+        raise ReproError(f"replay must be 'auto' or 'off', got {replay!r}")
     cfg = config or SimConfig()
     if max_instructions is not None:
         cfg = cfg.with_max_instructions(max_instructions)
@@ -93,6 +118,32 @@ def run_simulation(
     obs = observability
     if obs is None and trace:
         obs = Observability(trace=True, trace_capacity=trace_capacity)
+
+    # Architectural trace sharing: replay a previously captured stream,
+    # or (first run of this stream) capture it as a side effect of the
+    # timing run — the capture wrapper drives the same FunctionalCore
+    # the core would otherwise build itself.
+    functional_source = None
+    capture: Optional[CaptureSource] = None
+    stream_key: Optional[str] = None
+    if replay != "off":
+        limit = cfg.max_instructions
+        stream_key = arch_trace_key(
+            workload,
+            kwargs.get("input_name"),
+            size,
+            seed,
+            limit,
+            "swpf" if technique == SOFTWARE_PREFETCH else "base",
+        )
+        arch = load_trace(stream_key)
+        if arch is not None:
+            functional_source = ReplaySource(arch, program, wl.memory)
+            BATCH_COUNTERS.inc("batch.trace.replays")
+        elif limit <= CAPTURE_LIMIT:
+            capture = CaptureSource(FunctionalCore(program, wl.memory))
+            functional_source = capture
+
     core = OoOCore(
         program,
         wl.memory,
@@ -100,9 +151,13 @@ def run_simulation(
         technique=core_technique,
         workload_name=wl.name if input_name is None else f"{wl.name}_{input_name}",
         observability=obs,
+        functional_source=functional_source,
     )
     BATCH_COUNTERS.inc("batch.sim.runs")
     result = core.run()
+    if capture is not None and stream_key is not None:
+        store_trace(stream_key, capture.finish())
+        BATCH_COUNTERS.inc("batch.trace.captures")
     if technique == SOFTWARE_PREFETCH:
         result.technique = SOFTWARE_PREFETCH
     if cache is not None and cache_key is not None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..errors import AssemblyError
 from .instructions import NUM_REGS, Instruction, Opcode
@@ -36,6 +36,7 @@ class Program:
         self.labels: Dict[str, int] = dict(labels or {})
         self.name = name
         self._address_slice: Optional[Set[int]] = None
+        self._decoded = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -45,6 +46,20 @@ class Program:
 
     def __iter__(self):
         return iter(self.instructions)
+
+    def decoded(self):
+        """The pre-decoded lowering of this program (cached).
+
+        Returns a :class:`~repro.isa.predecode.DecodedProgram`: flat
+        arrays plus per-PC specialized handlers consumed by the
+        functional-core fast path and the timing cores. Instructions are
+        immutable after assembly, so one decode serves every run.
+        """
+        if self._decoded is None:
+            from .predecode import decode_program
+
+            self._decoded = decode_program(self)
+        return self._decoded
 
     def pc_of(self, label: str) -> int:
         try:

@@ -15,7 +15,7 @@ correlates one load value with one address linearly.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from .base import Technique
 

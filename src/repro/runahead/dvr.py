@@ -34,7 +34,6 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from ..isa.instructions import NUM_REGS
 from ..observability.trace import (
     EV_RUNAHEAD_ENTER,
     EV_RUNAHEAD_EXIT,

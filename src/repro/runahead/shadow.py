@@ -9,7 +9,7 @@ outstanding loads as INV at the moment a stall begins.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..core.dyninstr import DynInstr
 from ..isa.instructions import NUM_REGS

@@ -71,7 +71,7 @@ def build_bfs(input_name: Optional[str] = None, size: str = "default", seed: Opt
 
     mem = MemoryImage()
     _load_graph_csr(mem, graph)
-    wl = mem.allocate("WL", frontier)
+    mem.allocate("WL", frontier)
     vis = mem.allocate("VISITED", visited.astype(np.int64))
     out = mem.allocate("OUTWL", max(1, graph.num_edges))
 
