@@ -3,7 +3,7 @@
 PYTHON ?= python
 BENCH_ARGS ?= benchmarks/
 
-.PHONY: install test bench bench-verbose bench-core bench-baseline figures smoke lint
+.PHONY: install test bench bench-verbose bench-core bench-baseline figures smoke lint spec-goldens
 
 install:
 	pip install -e . --no-build-isolation || $(PYTHON) setup.py develop
@@ -24,6 +24,12 @@ bench-core:
 
 bench-baseline:
 	$(PYTHON) -m repro bench --json BENCH_core.json
+
+# Regenerate tests/golden/spec_keys.json after an *intentional*
+# repro.spec/1 schema or normalization change (docs/spec.md) — every
+# existing result cache re-keys, so bump SPEC_SCHEMA alongside.
+spec-goldens:
+	$(PYTHON) -m pytest tests/test_spec.py --update-goldens -q
 
 figures:
 	$(PYTHON) -m repro figure figure2

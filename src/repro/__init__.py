@@ -29,7 +29,7 @@ from .config import (
 )
 from .core import DynInstr, FunctionalCore, OoOCore, SimulationResult
 from .errors import ReproError
-from .experiments import run_simulation
+from .experiments import RunSpec, run_simulation
 from .isa import Instruction, Opcode, Program, ProgramBuilder
 from .memory import MemoryHierarchy, MemoryImage
 from .observability import (
@@ -63,6 +63,7 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "ReproError",
+    "RunSpec",
     "RunaheadConfig",
     "SimConfig",
     "SimulationResult",

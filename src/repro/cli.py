@@ -55,6 +55,15 @@ _TABLES = {
 }
 
 
+def _add_dump_spec_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dump-spec", action="store_true",
+        help="print the canonical resolved repro.spec/1 document(s) this"
+        " command would run (consumable by 'repro run --spec' / 'repro"
+        " batch --specs') and exit without simulating",
+    )
+
+
 def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
     """--jobs/--cache/--resume, shared by sweep/compare/figure/batch."""
     parser.add_argument(
@@ -101,10 +110,19 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list workloads, techniques, and experiments")
+    list_p = sub.add_parser("list", help="list workloads, techniques, and experiments")
+    list_p.add_argument(
+        "--json", action="store_true",
+        help="machine-readable JSON (for external spec-file generators)",
+    )
 
     run_p = sub.add_parser("run", help="simulate one workload/technique pair")
-    run_p.add_argument("--workload", required=True, choices=WORKLOAD_NAMES)
+    run_p.add_argument("--workload", default=None, choices=WORKLOAD_NAMES)
+    run_p.add_argument(
+        "--spec", metavar="FILE", default=None,
+        help="run the repro.spec/1 document in FILE instead of describing"
+        " the run with flags (mutually exclusive with --workload)",
+    )
     run_p.add_argument(
         "--technique", default="ooo", choices=technique_names() + ["swpf"]
     )
@@ -135,6 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-capacity", type=int, default=65_536,
         help="event ring-buffer capacity (digest covers all events)",
     )
+    _add_dump_spec_flag(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
     fig_p.add_argument("name", choices=sorted(_FIGURES))
@@ -142,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--workloads", nargs="*", default=None)
     fig_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
     _add_batch_flags(fig_p)
+    _add_dump_spec_flag(fig_p)
 
     tab_p = sub.add_parser("table", help="regenerate a paper table")
     tab_p.add_argument("name", choices=sorted(_TABLES))
@@ -162,6 +182,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seeds", type=int, default=1, help="workload seeds to average")
     sweep_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
     _add_batch_flags(sweep_p)
+    _add_dump_spec_flag(sweep_p)
 
     cmp_p = sub.add_parser("compare", help="workload x technique speedup matrix")
     cmp_p.add_argument("--workloads", nargs="+", required=True, choices=WORKLOAD_NAMES)
@@ -170,21 +191,31 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--seeds", type=int, default=1)
     cmp_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
     _add_batch_flags(cmp_p)
+    _add_dump_spec_flag(cmp_p)
 
     batch_p = sub.add_parser(
         "batch",
         help="run a JSON list of simulation specs, fault-tolerantly",
-        description="SPECS is a JSON file holding a list of run_simulation"
-        " keyword dicts (workload, technique, max_instructions, input_name,"
-        " seed, size); an optional 'overrides' dict of dotted config paths"
-        " is applied to the default SimConfig. One spec failing never sinks"
-        " the batch: its slot reports the error and the exit code is 1.",
+        description="SPECS is a JSON file holding a list of repro.spec/1"
+        " documents and/or run_simulation keyword dicts (workload,"
+        " technique, max_instructions, input_name, seed, size); an optional"
+        " 'overrides' dict of dotted config paths is applied to the spec's"
+        " config. One spec failing never sinks the batch: its slot reports"
+        " the error and the exit code is 1.",
     )
-    batch_p.add_argument("specs", metavar="SPECS", help="path to the JSON spec file")
+    batch_p.add_argument(
+        "specs", metavar="SPECS", nargs="?", default=None,
+        help="path to the JSON spec file",
+    )
+    batch_p.add_argument(
+        "--specs", metavar="FILE", dest="specs_opt", default=None,
+        help="path to the JSON spec file (same as the positional)",
+    )
     batch_p.add_argument("--retries", type=int, default=2,
                          help="extra pool attempts after transient worker death")
     batch_p.add_argument("--format", choices=["text", "json"], default="text")
     _add_batch_flags(batch_p)
+    _add_dump_spec_flag(batch_p)
 
     pipe_p = sub.add_parser(
         "pipeview", help="ASCII pipeline timeline of a run's first instructions"
@@ -244,9 +275,50 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _dump_specs_and_exit(specs, single: bool = False) -> int:
+    """--dump-spec: print canonical resolved spec documents, run nothing.
+
+    Resolution is strict, so a conflicting override or an unknown
+    workload/technique fails here — before anything is simulated or a
+    broken spec file is written.
+    """
+    from .experiments import RunSpec
+
+    payloads = [RunSpec.from_any(s).resolved().to_payload() for s in specs]
+    if single:
+        print(json.dumps(payloads[0], indent=2))
+    else:
+        print(json.dumps(payloads, indent=2))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
+        if args.json:
+            from .experiments.spec import SPEC_SCHEMA
+            from .techniques import technique_pins
+            from .workloads.registry import workload_accepts_input_name
+
+            print(json.dumps(
+                {
+                    "spec_schema": SPEC_SCHEMA,
+                    "workloads": {
+                        name: {"accepts_input_name": workload_accepts_input_name(name)}
+                        for name in WORKLOAD_NAMES
+                    },
+                    "graph_inputs": sorted(GRAPH_PROFILES),
+                    "sizes": ["default", "tiny"],
+                    "techniques": {
+                        name: {"pins": dict(technique_pins(name))}
+                        for name in technique_names() + ["swpf"]
+                    },
+                    "figures": sorted(_FIGURES),
+                    "tables": sorted(_TABLES),
+                },
+                indent=2,
+            ))
+            return 0
         print("workloads: " + " ".join(WORKLOAD_NAMES))
         print("graph inputs: " + " ".join(sorted(GRAPH_PROFILES)))
         print("techniques: " + " ".join(technique_names()))
@@ -254,21 +326,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("tables: " + " ".join(sorted(_TABLES)))
         return 0
     if args.command == "run":
+        from .errors import ReproError
+        from .experiments import RunSpec
         from .observability import Observability, write_stats
 
-        obs = None
-        if args.trace or args.trace_out or args.stats_out or args.counters:
-            obs = Observability(
+        replay = "auto"
+        if args.spec is not None:
+            if args.workload is not None:
+                print(
+                    "error: --spec and --workload are mutually exclusive",
+                    file=sys.stderr,
+                )
+                return 2
+            from .experiments import load_specs
+
+            try:
+                entries = load_specs(args.spec)
+            except (OSError, ReproError) as exc:
+                print(
+                    f"error: cannot load spec file {args.spec!r}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            if len(entries) != 1:
+                print(
+                    f"error: 'repro run --spec' takes exactly one spec; "
+                    f"{args.spec!r} holds {len(entries)} (use 'repro batch"
+                    f" --specs' for lists)",
+                    file=sys.stderr,
+                )
+                return 2
+            spec, runtime = entries[0]
+            replay = runtime.get("replay", "auto")
+        else:
+            if args.workload is None:
+                print("error: one of --workload or --spec is required", file=sys.stderr)
+                return 2
+            spec = RunSpec(
+                args.workload,
+                technique=args.technique,
+                max_instructions=args.instructions,
+                input_name=args.input,
                 trace=bool(args.trace or args.trace_out),
                 trace_capacity=args.trace_capacity,
             )
-        result = run_simulation(
-            args.workload,
-            args.technique,
-            max_instructions=args.instructions,
-            input_name=args.input,
-            observability=obs,
-        )
+        if args.dump_spec:
+            return _dump_specs_and_exit([spec], single=True)
+        obs = None
+        if spec.trace or args.trace_out or args.stats_out or args.counters:
+            obs = Observability(
+                trace=bool(spec.trace or args.trace_out),
+                trace_capacity=spec.trace_capacity,
+            )
+        result = run_simulation(spec, observability=obs, replay=replay)
         print(f"workload     : {result.workload}")
         print(f"technique    : {result.technique}")
         print(f"instructions : {result.instructions}")
@@ -314,6 +424,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         kwargs = {"instructions": args.instructions}
         if args.workloads:
             kwargs["workloads"] = args.workloads
+        if args.dump_spec:
+            return _dump_specs_and_exit(figure_specs(args.name, **kwargs))
         cache = _make_cache(args)
         ephemeral = None
         if args.jobs and args.jobs > 1 and cache is None:
@@ -345,6 +457,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "sweep":
         values = [_parse_value(v) for v in args.values]
+        if args.dump_spec:
+            from .experiments import sweep_specs
+
+            return _dump_specs_and_exit(sweep_specs(
+                args.workload,
+                args.technique,
+                args.param,
+                values,
+                instructions=args.instructions,
+                seeds=list(range(1, args.seeds + 1)) if args.seeds > 1 else None,
+            ))
         cache = _make_cache(args)
         result = run_sweep(
             args.workload,
@@ -361,6 +484,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             _emit_batch_stats()
         return 0
     if args.command == "compare":
+        if args.dump_spec:
+            from .experiments import compare_specs
+
+            return _dump_specs_and_exit(compare_specs(
+                args.workloads,
+                args.techniques,
+                instructions=args.instructions,
+                seeds=list(range(1, args.seeds + 1)) if args.seeds > 1 else None,
+            ))
         cache = _make_cache(args)
         result = compare_techniques(
             args.workloads,
@@ -417,33 +549,39 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _run_batch_command(args) -> int:
     """``repro batch SPECS.json``: fault-tolerant spec-list execution."""
-    from .errors import ReproError
-    from .experiments import apply_override
-    from .config import SimConfig
-
+    if args.specs is not None and args.specs_opt is not None:
+        print(
+            "error: pass the spec file once (positionally or via --specs)",
+            file=sys.stderr,
+        )
+        return 2
+    path = args.specs if args.specs is not None else args.specs_opt
+    if path is None:
+        print("error: a spec file is required (SPECS or --specs FILE)", file=sys.stderr)
+        return 2
     try:
-        with open(args.specs) as handle:
+        with open(path) as handle:
             raw = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
-        print(f"error: cannot read spec file {args.specs!r}: {exc}", file=sys.stderr)
+        print(f"error: cannot read spec file {path!r}: {exc}", file=sys.stderr)
         return 2
     if not isinstance(raw, list) or not all(isinstance(s, dict) for s in raw):
         print("error: spec file must hold a JSON list of objects", file=sys.stderr)
         return 2
-    specs = []
-    for entry in raw:
-        spec = dict(entry)
-        overrides = spec.pop("overrides", None)
-        if overrides:
-            config = SimConfig()
-            try:
-                for path, value in overrides.items():
-                    config = apply_override(config, path, value)
-            except ReproError as exc:
-                print(f"error: bad overrides in spec {entry!r}: {exc}", file=sys.stderr)
-                return 2
-            spec["config"] = config
-        specs.append(spec)
+    if args.dump_spec:
+        from .errors import ReproError
+        from .experiments import parse_spec_entry
+
+        try:
+            return _dump_specs_and_exit(
+                [parse_spec_entry(entry)[0] for entry in raw]
+            )
+        except ReproError as exc:
+            print(f"error: bad spec in {path!r}: {exc}", file=sys.stderr)
+            return 2
+    # Entries go to run_batch unresolved: a malformed entry becomes a
+    # BatchFailure in its slot (exit 1) instead of sinking the batch.
+    specs = raw
     cache = _make_cache(args)
     results = run_batch(specs, jobs=args.jobs, cache=cache, retries=args.retries)
     failures = 0

@@ -12,7 +12,8 @@ Two canonical configurations are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from typing import Dict, Mapping
 
 from .errors import ConfigError
 
@@ -204,3 +205,82 @@ class SimConfig:
 
     def with_max_instructions(self, n: int) -> "SimConfig":
         return replace(self, max_instructions=n)
+
+    def to_dict(self) -> Dict:
+        """Nested plain-dict form (the ``repro.spec/1`` wire format)."""
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @staticmethod
+    def from_dict(data: Mapping) -> "SimConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Strict: an unknown key anywhere in the tree raises
+        :class:`ConfigError` (a typo in a spec file must not silently
+        fall back to a default), and every dataclass ``__post_init__``
+        validation re-runs on the reconstructed values.
+        """
+        return _dataclass_from_dict(SimConfig, data, "config")
+
+
+def _dataclass_from_dict(cls, data: Mapping, path: str):
+    import typing
+
+    if not isinstance(data, Mapping):
+        raise ConfigError(f"{path}: expected a mapping for {cls.__name__}, got {data!r}")
+    names = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - names)
+    if unknown:
+        raise ConfigError(f"{path}: unknown {cls.__name__} fields {unknown}")
+    # PEP 563 stores annotations as strings; resolve them to classes so
+    # nested dataclass fields recurse.
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for name, value in data.items():
+        hint = hints.get(name)
+        if isinstance(hint, type) and is_dataclass(hint):
+            kwargs[name] = _dataclass_from_dict(hint, value, f"{path}.{name}")
+        else:
+            kwargs[name] = value
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"{path}: cannot build {cls.__name__}: {exc}") from exc
+
+
+def pin_runahead_config(
+    runahead: RunaheadConfig,
+    pins: Mapping[str, object],
+    technique: str = "?",
+    explicit: frozenset = frozenset(),
+) -> RunaheadConfig:
+    """Apply a technique's declarative config pins; config stays boss.
+
+    Ablation techniques (``dvr-offload``, ``dvr-discovery``,
+    ``dvr-noreconv``) are defined as *pins* over :class:`RunaheadConfig`
+    fields rather than constructor overrides, so the resolved config is
+    the single source of truth for technique behaviour. A field the user
+    left at its dataclass default is pinned silently; a contradiction —
+    the field was explicitly named in the spec's ``overrides``
+    (``explicit``) with a value other than the pin, or carries a value
+    that matches neither the pin nor the default — raises
+    :class:`ConfigError`. Sweeping ``runahead.discovery_enabled`` under
+    ``dvr-offload`` is a contradiction, not a silent no-op.
+    """
+    if not pins:
+        return runahead
+    defaults = RunaheadConfig()
+    conflicts = []
+    for name, pinned in pins.items():
+        current = getattr(runahead, name)
+        if current == pinned:
+            continue
+        if name in explicit or current != getattr(defaults, name):
+            conflicts.append(f"runahead.{name}={current!r} (pin: {pinned!r})")
+    if conflicts:
+        raise ConfigError(
+            f"technique {technique!r} pins {', '.join(conflicts)}; drop the "
+            f"explicit override or use a technique that leaves the field free"
+        )
+    return replace(runahead, **dict(pins))

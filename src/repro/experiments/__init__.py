@@ -29,15 +29,33 @@ from .figures import (
 )
 from .report import ExperimentResult, format_table, harmonic_mean
 from .runner import run_simulation
-from .sweep import apply_override, coerce_bool, compare_techniques, run_sweep
+from .spec import (
+    RUNTIME_KEYS,
+    SPEC_SCHEMA,
+    RunSpec,
+    apply_override,
+    coerce_bool,
+    dump_specs,
+    load_specs,
+    parse_spec_entry,
+    split_run_kwargs,
+)
+from .sweep import compare_specs, compare_techniques, run_sweep, sweep_specs
 from .tables import hardware_cost_table, table1_rows, table2_rows
 
 __all__ = [
     "BATCH_COUNTERS",
     "BatchFailure",
     "ExperimentResult",
+    "RUNTIME_KEYS",
     "ResultCache",
+    "RunSpec",
+    "SPEC_SCHEMA",
     "batch_failures",
+    "dump_specs",
+    "load_specs",
+    "parse_spec_entry",
+    "split_run_kwargs",
     "figure2",
     "figure7",
     "figure8",
@@ -54,7 +72,9 @@ __all__ = [
     "speedup_matrix",
     "successful",
     "run_sweep",
+    "sweep_specs",
     "compare_techniques",
+    "compare_specs",
     "apply_override",
     "coerce_bool",
     "use_cache",

@@ -2,11 +2,11 @@
 
 Every run in a figure or sweep is independent (fresh workload, fresh
 core), so a batch's wall-clock is trivially divisible across cores.
-:func:`run_batch` executes a list of :func:`run_simulation`
-keyword-argument dicts::
+:func:`run_batch` executes a list of :class:`RunSpec`\\ s (legacy
+:func:`run_simulation` keyword dicts are accepted and normalized)::
 
     specs = [
-        {"workload": "camel", "technique": t, "max_instructions": 10_000}
+        RunSpec("camel", technique=t, max_instructions=10_000)
         for t in ("ooo", "vr", "dvr")
     ]
     results = run_batch(specs, jobs=4)
@@ -49,16 +49,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from ..core.ooo import SimulationResult
 from ..errors import ReproError
 from ..perf.trace import use_trace_dir
-from .cache import (
-    BATCH_COUNTERS,
-    ResultCache,
-    canonical_spec,
-    resolved_spec_key,
-    spec_cacheable,
-)
+from .cache import BATCH_COUNTERS, ResultCache, canonical_spec
 from .runner import run_simulation
+from .spec import RunSpec, parse_spec_entry
 
 BatchOutcome = Union[SimulationResult, "BatchFailure"]
+
+#: One normalized batch item: the identity spec plus runtime extras
+#: (``observability``/``replay``) that never enter the content address.
+BatchItem = Tuple[RunSpec, Dict]
 
 
 @dataclass
@@ -93,26 +92,37 @@ class BatchFailure:
         }
 
 
-def _execute_spec(spec: Dict) -> BatchOutcome:
+def _failure_payload(spec: RunSpec, runtime: Dict) -> Dict:
+    """JSON-safe record of the spec slot a failure came from."""
+    payload = spec.to_payload()
+    if "technique" not in payload:
+        payload["technique"] = spec.technique
+    if runtime.get("replay") is not None:
+        payload["replay"] = runtime["replay"]
+    return payload
+
+
+def _execute_spec(item: BatchItem) -> BatchOutcome:
     """Run one spec, converting any exception into a BatchFailure."""
+    spec, runtime = item
     try:
-        return run_simulation(**spec)
+        return run_simulation(spec, **runtime)
     except Exception as exc:  # noqa: BLE001 — the isolation boundary
         return BatchFailure(
-            spec=canonical_spec(spec),
+            spec=_failure_payload(spec, runtime),
             error_type=type(exc).__name__,
             message=str(exc),
             traceback=traceback_module.format_exc(),
         )
 
 
-def _pool_worker(item: Tuple[str, Dict]) -> Tuple[str, BatchOutcome]:
-    key, spec = item
-    return key, _execute_spec(spec)
+def _pool_worker(item: Tuple[str, BatchItem]) -> Tuple[str, BatchOutcome]:
+    key, payload = item
+    return key, _execute_spec(payload)
 
 
 def _run_pool(
-    items: Sequence[Tuple[str, Dict]], jobs: int
+    items: Sequence[Tuple[str, BatchItem]], jobs: int
 ) -> Iterable[Tuple[str, BatchOutcome]]:
     """One pool pass over ``items``; yields (key, outcome) as they finish.
 
@@ -129,7 +139,7 @@ def _run_pool(
 
 
 def _run_pending_parallel(
-    pending: List[Tuple[str, Dict]],
+    pending: List[Tuple[str, BatchItem]],
     jobs: int,
     outcomes: Dict[str, BatchOutcome],
     retries: int,
@@ -161,9 +171,9 @@ def _run_pending_parallel(
             attempt += 1
             if attempt > retries:
                 trace = traceback_module.format_exc()
-                for key, spec in remaining:
+                for key, (spec, runtime) in remaining:
                     outcomes[key] = BatchFailure(
-                        spec=canonical_spec(spec),
+                        spec=_failure_payload(spec, runtime),
                         error_type=type(exc).__name__,
                         message=(
                             f"worker pool failed {attempt} times; giving up: {exc}"
@@ -186,7 +196,7 @@ def _validate_jobs(jobs: Optional[int]) -> None:
 
 
 def run_batch(
-    specs: Sequence[Dict],
+    specs: Sequence[Union[RunSpec, Dict]],
     jobs: Optional[int] = None,
     *,
     cache: Optional[ResultCache] = None,
@@ -195,6 +205,12 @@ def run_batch(
     strict: bool = False,
 ) -> List[BatchOutcome]:
     """Run every spec; ``jobs`` > 1 uses a process pool.
+
+    Each entry is a :class:`RunSpec`, a ``repro.spec/1`` payload dict,
+    or a legacy ``run_simulation`` kwargs dict (normalized via
+    :func:`~repro.experiments.spec.parse_spec_entry`); a malformed entry
+    fills its slot with a :class:`BatchFailure` like any other per-spec
+    error.
 
     ``jobs=None`` or ``jobs=1`` runs serially (no subprocess overhead —
     the right choice for small batches and inside test suites); every
@@ -207,39 +223,55 @@ def run_batch(
     :class:`ReproError` (carrying the worker traceback) instead.
     """
     _validate_jobs(jobs)
-    specs = [dict(spec) for spec in specs]
     BATCH_COUNTERS.inc("batch.batches")
     BATCH_COUNTERS.inc("batch.specs", len(specs))
+
+    # Normalize every entry onto the canonical spec type. A spec that
+    # cannot even be parsed is isolated exactly like one that fails to
+    # run: its slot carries a BatchFailure, the batch proceeds.
+    items: List[Optional[BatchItem]] = []
+    parse_failures: Dict[int, BatchFailure] = {}
+    for index, raw in enumerate(specs):
+        try:
+            items.append(parse_spec_entry(raw))
+        except Exception as exc:  # noqa: BLE001 — the isolation boundary
+            parse_failures[index] = BatchFailure(
+                spec=canonical_spec(dict(raw)) if isinstance(raw, dict) else {},
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback_module.format_exc(),
+            )
+            items.append(None)
 
     # Content-addressed dedup: identical specs simulate once. Specs
     # carrying a live observability facade are never deduped or cached
     # (the caller wants the per-run side-band state populated).
     positions: Dict[str, List[int]] = {}
-    unique: List[Tuple[str, Dict]] = []
-    for index, spec in enumerate(specs):
-        if spec_cacheable(spec):
-            key = resolved_spec_key(spec)
+    unique: List[Tuple[str, BatchItem]] = []
+    for index, item in enumerate(items):
+        if item is None:
+            continue
+        spec, runtime = item
+        if runtime.get("observability") is None:
+            key = spec.key()
         else:
             key = f"uncacheable-{index}"
         slots = positions.setdefault(key, [])
         if slots:
             BATCH_COUNTERS.inc("batch.dedup.reused")
         else:
-            unique.append((key, spec))
+            unique.append((key, item))
         slots.append(index)
 
     outcomes: Dict[str, BatchOutcome] = {}
-    pending: List[Tuple[str, Dict]] = []
-    for key, spec in unique:
-        hit = (
-            cache.get(key)
-            if cache is not None and spec_cacheable(spec)
-            else None
-        )
+    pending: List[Tuple[str, BatchItem]] = []
+    for key, item in unique:
+        cacheable = item[1].get("observability") is None
+        hit = cache.get(key) if cache is not None and cacheable else None
         if hit is not None:
             outcomes[key] = hit
         else:
-            pending.append((key, spec))
+            pending.append((key, item))
 
     if pending:
         # With a cache attached, captured architectural traces persist
@@ -254,17 +286,20 @@ def run_batch(
         )
         with trace_ctx:
             if jobs is None or jobs <= 1 or len(pending) <= 1:
-                for key, spec in pending:
-                    outcomes[key] = _execute_spec(spec)
+                for key, item in pending:
+                    outcomes[key] = _execute_spec(item)
             else:
                 _run_pending_parallel(pending, jobs, outcomes, retries, retry_backoff)
         if cache is not None:
-            for key, spec in pending:
+            for key, item in pending:
                 outcome = outcomes.get(key)
-                if isinstance(outcome, SimulationResult) and spec_cacheable(spec):
+                cacheable = item[1].get("observability") is None
+                if isinstance(outcome, SimulationResult) and cacheable:
                     cache.put(key, outcome)
 
     results: List[Optional[BatchOutcome]] = [None] * len(specs)
+    for index, failure in parse_failures.items():
+        results[index] = failure
     for key, slots in positions.items():
         outcome = outcomes[key]
         for index in slots:
@@ -306,18 +341,14 @@ def speedup_matrix(
     same content-addressed spec, so ``ooo`` appearing in the technique
     list no longer costs a second baseline simulation per workload.
     """
-    specs: List[Dict] = []
+    specs: List[RunSpec] = []
     for workload in workloads:
         specs.append(
-            {"workload": workload, "technique": "ooo", "max_instructions": instructions}
+            RunSpec(workload, technique="ooo", max_instructions=instructions)
         )
         for technique in techniques:
             specs.append(
-                {
-                    "workload": workload,
-                    "technique": technique,
-                    "max_instructions": instructions,
-                }
+                RunSpec(workload, technique=technique, max_instructions=instructions)
             )
     results = run_batch(specs, jobs=jobs, cache=cache, strict=True)
     matrix: Dict[str, Dict[str, float]] = {}

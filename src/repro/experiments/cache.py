@@ -42,7 +42,6 @@ from contextvars import ContextVar
 from pathlib import Path
 from typing import Dict, Iterator, Optional
 
-from ..config import SimConfig
 from ..core.ooo import SimulationResult
 from ..observability import CounterRegistry
 
@@ -103,21 +102,11 @@ def code_fingerprint() -> str:
 
 
 # -- spec canonicalisation ----------------------------------------------------
-
-#: run_simulation keyword arguments that participate in the identity of
-#: a run. ``observability`` never does: runs carrying a live facade are
-#: not cacheable (the caller wants the side-band trace/hook state).
-_IDENTITY_KEYS = (
-    "workload",
-    "technique",
-    "config",
-    "max_instructions",
-    "input_name",
-    "size",
-    "seed",
-    "trace",
-    "trace_capacity",
-)
+#
+# Canonical resolution and normalization live in
+# :class:`repro.experiments.spec.RunSpec`; these helpers are the
+# kwargs-dict compatibility surface plus the low-level content
+# addresser both cache keys and trace keys share.
 
 
 def canonical_spec(spec: Dict) -> Dict:
@@ -134,34 +123,16 @@ def canonical_spec(spec: Dict) -> Dict:
 def resolve_spec(spec: Dict) -> Dict:
     """Normalise a ``run_simulation`` kwargs dict to its cache identity.
 
-    Applies the same defaulting the runner applies (``config or
-    SimConfig()`` with the ``max_instructions`` override folded in), so
+    Delegates to :meth:`RunSpec.resolved
+    <repro.experiments.spec.RunSpec.resolved>`, so
     ``{"workload": "bfs", "max_instructions": 1200}`` and the explicit
     ``{"workload": "bfs", "config": SimConfig(max_instructions=1200)}``
-    resolve to the same key.
+    resolve to the same identity payload (and fields the run ignores —
+    an ``input_name`` on a workload that takes none — are dropped).
     """
-    config = spec.get("config") or SimConfig()
-    max_instructions = spec.get("max_instructions")
-    if max_instructions is not None:
-        config = config.with_max_instructions(max_instructions)
-    trace = bool(spec.get("trace", False))
-    resolved = {
-        "workload": spec.get("workload"),
-        "technique": spec.get("technique", "ooo"),
-        "config": dataclasses.asdict(config),
-        "input_name": spec.get("input_name"),
-        "size": spec.get("size", "default"),
-        "seed": spec.get("seed"),
-        "trace": trace,
-        "trace_capacity": spec.get("trace_capacity", 65_536) if trace else None,
-    }
-    extras = {
-        key: value for key, value in spec.items()
-        if key not in _IDENTITY_KEYS and key not in ("observability", "replay")
-    }
-    if extras:
-        resolved["extras"] = canonical_spec(extras)
-    return resolved
+    from .spec import RunSpec
+
+    return RunSpec.from_any(spec).resolved(strict=False).identity_payload()
 
 
 def spec_key(resolved: Dict, fingerprint: Optional[str] = None) -> str:
@@ -174,14 +145,18 @@ def spec_key(resolved: Dict, fingerprint: Optional[str] = None) -> str:
     return hashlib.blake2b(blob.encode(), digest_size=20).hexdigest()
 
 
-def resolved_spec_key(spec: Dict) -> str:
-    """Cache key of a raw ``run_simulation`` kwargs dict."""
-    return spec_key(resolve_spec(spec))
+def resolved_spec_key(spec) -> str:
+    """Cache key of a raw kwargs dict or a :class:`RunSpec`."""
+    from .spec import RunSpec
+
+    return RunSpec.from_any(spec).key()
 
 
-def spec_cacheable(spec: Dict) -> bool:
+def spec_cacheable(spec) -> bool:
     """A spec carrying a live observability facade must run fresh."""
-    return spec.get("observability") is None
+    if isinstance(spec, dict):
+        return spec.get("observability") is None
+    return True
 
 
 # -- result (de)serialisation -------------------------------------------------

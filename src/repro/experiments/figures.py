@@ -25,6 +25,7 @@ from ..observability import subtree
 from ..workloads import GAP_WORKLOADS, WORKLOAD_NAMES
 from .report import ExperimentResult, harmonic_mean
 from .runner import run_simulation
+from .spec import RunSpec
 
 
 def _stall_fraction(result) -> float:
@@ -67,46 +68,46 @@ def figure_specs(
     scale_backend: bool = True,
     inputs: Optional[Sequence[str]] = None,
     techniques: Optional[Sequence[str]] = None,
-) -> List[Dict]:
-    """Enumerate the :func:`run_simulation` specs ``name`` will request.
+) -> List[RunSpec]:
+    """Enumerate the :class:`RunSpec` list ``name`` will request.
 
     Mirrors each generator's loop structure exactly (same configs, same
-    kwargs), so running the returned specs through ``run_batch`` with a
-    cache makes the subsequent generator call hit on every point. Keep
+    arguments), so running the returned specs through ``run_batch`` with
+    a cache makes the subsequent generator call hit on every point. Keep
     the two in sync when editing a generator.
     """
-    specs: List[Dict] = []
+    specs: List[RunSpec] = []
     if name in ("figure2", "figure12"):
         tech = "vr" if name == "figure2" else "dvr"
         names = _default(workloads, SWEEP_WORKLOADS)
         robs = list(rob_sizes or ROB_SIZES)
         for wl in names:
             specs.append(
-                {
-                    "workload": wl,
-                    "technique": "ooo",
-                    "config": _sweep_config(BASELINE_ROB, scale_backend),
-                    "max_instructions": instructions,
-                }
+                RunSpec(
+                    wl,
+                    technique="ooo",
+                    config=_sweep_config(BASELINE_ROB, scale_backend),
+                    max_instructions=instructions,
+                )
             )
             for rob in robs:
                 cfg = _sweep_config(rob, scale_backend)
                 if rob != BASELINE_ROB:
                     specs.append(
-                        {
-                            "workload": wl,
-                            "technique": "ooo",
-                            "config": cfg,
-                            "max_instructions": instructions,
-                        }
+                        RunSpec(
+                            wl,
+                            technique="ooo",
+                            config=cfg,
+                            max_instructions=instructions,
+                        )
                     )
                 specs.append(
-                    {
-                        "workload": wl,
-                        "technique": tech,
-                        "config": cfg,
-                        "max_instructions": instructions,
-                    }
+                    RunSpec(
+                        wl,
+                        technique=tech,
+                        config=cfg,
+                        max_instructions=instructions,
+                    )
                 )
     elif name == "figure7":
         techs = list(techniques or ("pre", "imp", "vr", "dvr", "oracle"))
@@ -115,29 +116,29 @@ def figure_specs(
             for input_name in input_list:
                 for tech in ["ooo"] + techs:
                     specs.append(
-                        {
-                            "workload": wl,
-                            "technique": tech,
-                            "max_instructions": instructions,
-                            "input_name": input_name,
-                        }
+                        RunSpec(
+                            wl,
+                            technique=tech,
+                            max_instructions=instructions,
+                            input_name=input_name,
+                        )
                     )
     elif name == "figure8":
         for wl in _default(workloads, SWEEP_WORKLOADS + ["cc", "kangaroo"]):
             for tech in ("ooo", "vr", "dvr-offload", "dvr-discovery", "dvr"):
                 specs.append(
-                    {"workload": wl, "technique": tech, "max_instructions": instructions}
+                    RunSpec(wl, technique=tech, max_instructions=instructions)
                 )
     elif name in ("figure9", "figure10"):
         for wl in _default(workloads, WORKLOAD_NAMES):
             for tech in ("ooo", "vr", "dvr"):
                 specs.append(
-                    {"workload": wl, "technique": tech, "max_instructions": instructions}
+                    RunSpec(wl, technique=tech, max_instructions=instructions)
                 )
     elif name == "figure11":
         for wl in _default(workloads, WORKLOAD_NAMES):
             specs.append(
-                {"workload": wl, "technique": "dvr", "max_instructions": instructions}
+                RunSpec(wl, technique="dvr", max_instructions=instructions)
             )
     else:
         raise ReproError(f"no spec enumeration for figure {name!r}")

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from ..config import SimConfig
 from ..core.functional import FunctionalCore
@@ -20,8 +20,8 @@ from ..perf.trace import (
 )
 from ..techniques import make_technique
 from ..workloads import build_workload
-from ..workloads.registry import workload_accepts_input_name
-from .cache import BATCH_COUNTERS, active_cache, resolved_spec_key
+from .cache import BATCH_COUNTERS, active_cache
+from .spec import RunSpec
 
 #: Pseudo-technique: the CGO 2017 software-prefetching compiler pass
 #: applied to the workload, run on the plain OoO core.
@@ -29,7 +29,7 @@ SOFTWARE_PREFETCH = "swpf"
 
 
 def run_simulation(
-    workload: str,
+    workload: Union[str, RunSpec],
     technique: str = "ooo",
     config: Optional[SimConfig] = None,
     max_instructions: Optional[int] = None,
@@ -41,14 +41,25 @@ def run_simulation(
     observability: Optional[Observability] = None,
     replay: str = "auto",
 ) -> SimulationResult:
-    """Build a fresh workload and simulate it under one technique.
+    """Simulate one run, described by a :class:`RunSpec` or by kwargs.
+
+    The canonical entry form is a spec::
+
+        run_simulation(RunSpec("camel", "dvr", max_instructions=20_000))
+
+    The keyword form is a thin compatibility shim: the arguments are
+    packed into a :class:`RunSpec` and resolved identically (see
+    ``docs/spec.md``), so both forms produce the same cache key, the
+    same architectural-trace key, and a bit-identical result.
 
     ``input_name`` selects the Table 2 graph profile for GAP kernels;
-    the workload registry decides whether a workload takes one (the
-    hpc-db set does not and silently ignores it), so a ``TypeError``
-    raised *inside* workload construction always propagates. ``seed``
-    re-rolls the workload's input data (for multi-seed experiments).
-    ``max_instructions`` overrides the config's region length.
+    spec resolution drops it for workloads whose builder does not take
+    one (the hpc-db set), so byte-identical runs share one identity.
+    ``seed`` re-rolls the workload's input data (for multi-seed
+    experiments). ``max_instructions`` overrides the config's region
+    length. Ablation techniques (``dvr-*``) resolve to declarative pins
+    over ``config.runahead``; a conflicting explicit config override
+    raises :class:`~repro.errors.ConfigError`.
 
     ``trace=True`` records the structured event stream (fetch / issue /
     complete / retire plus runahead and vector-dispatch events) into a
@@ -61,63 +72,87 @@ def run_simulation(
     (installed via :func:`~repro.experiments.cache.use_cache`, or by the
     batch runner / CLI ``--cache`` flags) and no live ``observability``
     facade was passed, the run is served from — and stored into — the
-    cache, keyed on the resolved config, workload spec, seed, and code
-    fingerprint.
+    cache, keyed on :meth:`RunSpec.key` (resolved config, workload
+    identity, seed, and code fingerprint).
 
     ``replay`` controls architectural trace sharing (``repro.perf``):
     with the default ``"auto"``, the technique-independent functional
-    stream is captured once per (workload, input, size, seed, limit,
-    program stream) and replayed into every later run of the same
-    stream — so comparing four techniques over one workload executes
-    the program functionally once, not four times. Replay is exact:
-    identical ``DynInstr`` fields, identical memory-image evolution
-    (stores are re-applied at fetch time), identical trace digests.
-    ``replay="off"`` always executes functionally. The flag never
-    participates in cache identity (replayed and live runs are
-    bit-identical by construction).
+    stream is captured once per stream projection and replayed into
+    every later run of the same stream — so comparing four techniques
+    over one workload executes the program functionally once, not four
+    times. Replay is exact: identical ``DynInstr`` fields, identical
+    memory-image evolution (stores are re-applied at fetch time),
+    identical trace digests. ``replay="off"`` always executes
+    functionally. Neither ``replay`` nor ``observability`` participates
+    in run identity (replayed and live runs are bit-identical by
+    construction).
     """
+    if isinstance(workload, RunSpec):
+        if (
+            technique != "ooo"
+            or config is not None
+            or max_instructions is not None
+            or input_name is not None
+            or size != "default"
+            or seed is not None
+            or trace
+            or trace_capacity != 65_536
+        ):
+            raise ReproError(
+                "run_simulation(spec) takes only observability/replay as "
+                "extra arguments; fold everything else into the RunSpec"
+            )
+        spec = workload
+    else:
+        spec = RunSpec(
+            workload=workload,
+            technique=technique,
+            config=config,
+            max_instructions=max_instructions,
+            input_name=input_name,
+            size=size,
+            seed=seed,
+            trace=trace,
+            trace_capacity=trace_capacity,
+        )
+    return _run_resolved(spec.resolved(), observability, replay)
+
+
+def _run_resolved(
+    spec: RunSpec,
+    observability: Optional[Observability],
+    replay: str,
+) -> SimulationResult:
+    """Execute one canonically resolved spec."""
     if replay not in ("auto", "off"):
         raise ReproError(f"replay must be 'auto' or 'off', got {replay!r}")
-    cfg = config or SimConfig()
-    if max_instructions is not None:
-        cfg = cfg.with_max_instructions(max_instructions)
+    cfg = spec.config
 
     cache = active_cache() if observability is None else None
     cache_key: Optional[str] = None
     if cache is not None:
-        cache_key = resolved_spec_key(
-            {
-                "workload": workload,
-                "technique": technique,
-                "config": cfg,
-                "input_name": input_name,
-                "size": size,
-                "seed": seed,
-                "trace": trace,
-                "trace_capacity": trace_capacity,
-            }
-        )
+        cache_key = spec.key()
         cached = cache.get(cache_key)
         if cached is not None:
             return cached
 
-    kwargs = {"size": size}
-    if seed is not None:
-        kwargs["seed"] = seed
-    if input_name is not None and workload_accepts_input_name(workload):
-        kwargs["input_name"] = input_name
-    wl = build_workload(workload, **kwargs)
+    kwargs = {"size": spec.size}
+    if spec.seed is not None:
+        kwargs["seed"] = spec.seed
+    if spec.input_name is not None:
+        kwargs["input_name"] = spec.input_name
+    wl = build_workload(spec.workload, **kwargs)
     program = wl.program
-    if technique == SOFTWARE_PREFETCH:
+    if spec.technique == SOFTWARE_PREFETCH:
         # A compiler transformation, not a hardware technique: insert
         # look-ahead prefetches and run on the plain OoO core.
         program = insert_software_prefetches(program)
-        core_technique = make_technique("ooo")
+        core_technique = make_technique("ooo", cfg)
     else:
-        core_technique = make_technique(technique)
+        core_technique = make_technique(spec.technique, cfg)
     obs = observability
-    if obs is None and trace:
-        obs = Observability(trace=True, trace_capacity=trace_capacity)
+    if obs is None and spec.trace:
+        obs = Observability(trace=True, trace_capacity=spec.trace_capacity)
 
     # Architectural trace sharing: replay a previously captured stream,
     # or (first run of this stream) capture it as a side effect of the
@@ -128,14 +163,7 @@ def run_simulation(
     stream_key: Optional[str] = None
     if replay != "off":
         limit = cfg.max_instructions
-        stream_key = arch_trace_key(
-            workload,
-            kwargs.get("input_name"),
-            size,
-            seed,
-            limit,
-            "swpf" if technique == SOFTWARE_PREFETCH else "base",
-        )
+        stream_key = arch_trace_key(spec.stream_projection())
         arch = load_trace(stream_key)
         if arch is not None:
             functional_source = ReplaySource(arch, program, wl.memory)
@@ -149,7 +177,9 @@ def run_simulation(
         wl.memory,
         cfg,
         technique=core_technique,
-        workload_name=wl.name if input_name is None else f"{wl.name}_{input_name}",
+        workload_name=(
+            wl.name if spec.input_name is None else f"{wl.name}_{spec.input_name}"
+        ),
         observability=obs,
         functional_source=functional_source,
     )
@@ -158,7 +188,7 @@ def run_simulation(
     if capture is not None and stream_key is not None:
         store_trace(stream_key, capture.finish())
         BATCH_COUNTERS.inc("batch.trace.captures")
-    if technique == SOFTWARE_PREFETCH:
+    if spec.technique == SOFTWARE_PREFETCH:
         result.technique = SOFTWARE_PREFETCH
     if cache is not None and cache_key is not None:
         cache.put(cache_key, result)

@@ -24,85 +24,78 @@ from __future__ import annotations
 
 import statistics
 import warnings
-from dataclasses import is_dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..config import SimConfig
-from ..errors import ConfigError
 from .batch import run_batch
 from .cache import ResultCache
 from .report import ExperimentResult
 
-_TRUE_TOKENS = frozenset({"true", "t", "yes", "on", "1"})
-_FALSE_TOKENS = frozenset({"false", "f", "no", "off", "0"})
-
-
-def coerce_bool(value: object) -> bool:
-    """Strictly parse a boolean override value.
-
-    ``bool("false")`` is ``True`` in Python, so boolean config fields
-    must never go through a ``type(current)(value)`` cast; the CLI's
-    ``--values false`` arrives as a string and has to mean ``False``.
-    Unparseable values raise :class:`ConfigError` rather than silently
-    flipping a feature on.
-    """
-    if isinstance(value, bool):
-        return value
-    if isinstance(value, str):
-        token = value.strip().lower()
-        if token in _TRUE_TOKENS:
-            return True
-        if token in _FALSE_TOKENS:
-            return False
-        raise ConfigError(
-            f"cannot interpret {value!r} as a boolean (use true/false)"
-        )
-    if isinstance(value, (int, float)) and value in (0, 1):
-        return bool(value)
-    raise ConfigError(f"cannot interpret {value!r} as a boolean (use true/false)")
-
-
-def _coerce(path: str, current: object, value: object) -> object:
-    if current is None:
-        return value
-    if isinstance(current, bool):
-        return coerce_bool(value)
-    try:
-        return type(current)(value)
-    except (TypeError, ValueError) as exc:
-        raise ConfigError(
-            f"cannot coerce {value!r} to {type(current).__name__} for {path!r}"
-        ) from exc
-
-
-def apply_override(config: SimConfig, path: str, value) -> SimConfig:
-    """Return a config with the dotted ``path`` replaced by ``value``.
-
-    ``apply_override(cfg, "runahead.dvr_lanes", 64)`` and
-    ``apply_override(cfg, "max_instructions", 5000)`` both work; every
-    intermediate node must be a (frozen) dataclass field. Values are
-    coerced to the field's current type; boolean fields parse
-    ``true/false`` tokens strictly (see :func:`coerce_bool`).
-    """
-    parts = path.split(".")
-
-    def rebuild(node, remaining: List[str]):
-        name = remaining[0]
-        if not is_dataclass(node) or not hasattr(node, name):
-            raise ConfigError(f"no config field {path!r} (failed at {name!r})")
-        if len(remaining) == 1:
-            current = getattr(node, name)
-            return replace(node, **{name: _coerce(path, current, value)})
-        child = rebuild(getattr(node, name), remaining[1:])
-        return replace(node, **{name: child})
-
-    return rebuild(config, parts)
+# Override machinery lives with the spec layer now; re-exported here
+# because `from repro.experiments import apply_override` is public API.
+from .spec import RunSpec, apply_override, coerce_bool  # noqa: F401
 
 
 def _seed_list(seeds: Optional[Sequence[int]]) -> List[Optional[int]]:
     if not seeds:
         return [None]
     return list(seeds)
+
+
+def sweep_specs(
+    workload: str,
+    technique: str,
+    parameter: str,
+    values: Sequence,
+    instructions: int = 8_000,
+    seeds: Optional[Sequence[int]] = None,
+    baseline_technique: str = "ooo",
+    input_name: Optional[str] = None,
+) -> List[RunSpec]:
+    """The exact :class:`RunSpec` list :func:`run_sweep` will run.
+
+    Per value, per seed: one baseline spec and one technique spec, in
+    that order (the row assembly in :func:`run_sweep` relies on it).
+    A baseline whose behaviour the swept parameter cannot change (the
+    plain ``ooo`` core under a ``runahead.*`` parameter — that section
+    only parameterises runahead engines) keeps the *unmodified* config,
+    so the batch layer deduplicates it to one run per seed.
+    """
+    seed_list = _seed_list(seeds)
+    base_config = SimConfig(max_instructions=instructions)
+    baseline_invariant = (
+        baseline_technique == "ooo" and parameter.split(".", 1)[0] == "runahead"
+    )
+    specs: List[RunSpec] = []
+    for value in values:
+        # Validate the path/value eagerly (typos fail before any run);
+        # the spec itself carries the override, so resolution knows the
+        # parameter was *explicitly* swept — a pinned ablation field
+        # raises ConfigError instead of being silently overridden.
+        apply_override(base_config, parameter, value)
+        sweep_overrides = ((parameter, value),)
+        for seed in seed_list:
+            specs.append(
+                RunSpec(
+                    workload,
+                    technique=baseline_technique,
+                    config=base_config,
+                    overrides=() if baseline_invariant else sweep_overrides,
+                    input_name=input_name,
+                    seed=seed,
+                )
+            )
+            specs.append(
+                RunSpec(
+                    workload,
+                    technique=technique,
+                    config=base_config,
+                    overrides=sweep_overrides,
+                    input_name=input_name,
+                    seed=seed,
+                )
+            )
+    return specs
 
 
 def run_sweep(
@@ -127,35 +120,16 @@ def run_sweep(
     ``RuntimeWarning`` — the sweep completes instead of crashing.
     """
     seed_list = _seed_list(seeds)
-    base_config = SimConfig(max_instructions=instructions)
-    # The runahead.* section only parameterises runahead engines; the
-    # plain OoO baseline never reads it.
-    baseline_invariant = (
-        baseline_technique == "ooo" and parameter.split(".", 1)[0] == "runahead"
+    specs = sweep_specs(
+        workload,
+        technique,
+        parameter,
+        values,
+        instructions=instructions,
+        seeds=seeds,
+        baseline_technique=baseline_technique,
+        input_name=input_name,
     )
-    specs: List[Dict] = []
-    for value in values:
-        config = apply_override(base_config, parameter, value)
-        baseline_config = base_config if baseline_invariant else config
-        for seed in seed_list:
-            specs.append(
-                {
-                    "workload": workload,
-                    "technique": baseline_technique,
-                    "config": baseline_config,
-                    "input_name": input_name,
-                    "seed": seed,
-                }
-            )
-            specs.append(
-                {
-                    "workload": workload,
-                    "technique": technique,
-                    "config": config,
-                    "input_name": input_name,
-                    "seed": seed,
-                }
-            )
     results = run_batch(specs, jobs=jobs, cache=cache, strict=True)
 
     rows: List[List] = []
@@ -196,6 +170,36 @@ def run_sweep(
     )
 
 
+def compare_specs(
+    workloads: Sequence[str],
+    techniques: Sequence[str],
+    instructions: int = 8_000,
+    seeds: Optional[Sequence[int]] = None,
+    input_name: Optional[str] = None,
+) -> List[RunSpec]:
+    """The exact :class:`RunSpec` list :func:`compare_techniques` runs.
+
+    Per workload: the ``ooo`` baseline (once per seed), then each
+    technique once per seed, in column order.
+    """
+    seed_list = _seed_list(seeds)
+    config = SimConfig(max_instructions=instructions)
+    specs: List[RunSpec] = []
+    for workload in workloads:
+        for tech in ["ooo"] + list(techniques):
+            for seed in seed_list:
+                specs.append(
+                    RunSpec(
+                        workload,
+                        technique=tech,
+                        config=config,
+                        input_name=input_name,
+                        seed=seed,
+                    )
+                )
+    return specs
+
+
 def compare_techniques(
     workloads: Sequence[str],
     techniques: Sequence[str],
@@ -218,20 +222,13 @@ def compare_techniques(
         headers.append(tech)
         if multi:
             headers.append(f"{tech}_stdev")
-    config = SimConfig(max_instructions=instructions)
-    specs: List[Dict] = []
-    for workload in workloads:
-        for tech in ["ooo"] + list(techniques):
-            for seed in seed_list:
-                specs.append(
-                    {
-                        "workload": workload,
-                        "technique": tech,
-                        "config": config,
-                        "input_name": input_name,
-                        "seed": seed,
-                    }
-                )
+    specs = compare_specs(
+        workloads,
+        techniques,
+        instructions=instructions,
+        seeds=seeds,
+        input_name=input_name,
+    )
     results = run_batch(specs, jobs=jobs, cache=cache, strict=True)
 
     rows: List[List] = []

@@ -243,35 +243,33 @@ def capture_arch_trace(program, memory, limit: int) -> ArchTrace:
 
 # -- identity -----------------------------------------------------------------
 
-def arch_trace_key(
-    workload: str,
-    input_name: Optional[str],
-    size: str,
-    seed: Optional[int],
-    limit: int,
-    stream: str,
-) -> str:
+#: The fields every stream projection must carry, in canonical order.
+_PROJECTION_FIELDS = ("workload", "input_name", "size", "seed", "limit", "stream")
+
+
+def arch_trace_key(spec) -> str:
     """Content address of one architectural stream.
 
-    ``stream`` distinguishes program transforms over the same workload
-    (``"base"`` vs ``"swpf"`` — software prefetching rewrites the
-    program, so its stream differs). The key embeds the package code
-    fingerprint via :func:`~repro.experiments.cache.spec_key`, so any
-    source edit invalidates every trace alongside every result.
+    ``spec`` is a :class:`~repro.experiments.spec.RunSpec` (its
+    :meth:`~repro.experiments.spec.RunSpec.stream_projection` is the
+    single derivation point for stream identity) or an equivalent
+    projection mapping with keys ``workload``/``input_name``/``size``/
+    ``seed``/``limit``/``stream``. ``stream`` distinguishes program
+    transforms over the same workload (``"base"`` vs ``"swpf"`` —
+    software prefetching rewrites the program, so its stream differs).
+    The key embeds the package code fingerprint via
+    :func:`~repro.experiments.cache.spec_key`, so any source edit
+    invalidates every trace alongside every result.
     """
     from ..experiments.cache import spec_key
 
-    return spec_key(
-        {
-            "kind": "arch-trace",
-            "workload": workload,
-            "input_name": input_name,
-            "size": size,
-            "seed": seed,
-            "limit": limit,
-            "stream": stream,
-        }
-    )
+    projection = spec if isinstance(spec, dict) else spec.stream_projection()
+    missing = [f for f in _PROJECTION_FIELDS if f not in projection]
+    if missing:
+        raise SimulationError(f"stream projection is missing fields {missing}")
+    payload = {"kind": "arch-trace"}
+    payload.update({f: projection[f] for f in _PROJECTION_FIELDS})
+    return spec_key(payload)
 
 
 # -- in-process memo ----------------------------------------------------------

@@ -17,9 +17,10 @@ The timing core drives techniques through these callbacks:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..config import RunaheadConfig
     from ..core.dyninstr import DynInstr
     from ..core.ooo import OoOCore
     from ..memory.hierarchy import AccessResult
@@ -33,6 +34,12 @@ class Technique:
     name = "base"
     #: True when the memory hierarchy should run in ideal (oracle) mode.
     wants_ideal_memory = False
+    #: Declarative :class:`~repro.config.RunaheadConfig` field pins.
+    #: Ablation variants (``dvr-offload``, ...) are the plain technique
+    #: plus pins; :meth:`resolved_runahead` folds them into the run's
+    #: config, so the config — never a constructor argument — is the
+    #: single source of truth for technique behaviour.
+    config_pins: Mapping[str, object] = {}
 
     def __init__(self) -> None:
         self.core: Optional["OoOCore"] = None
@@ -47,6 +54,17 @@ class Technique:
         self.core = core
         obs = getattr(core, "observability", None)
         self._trace = obs.trace if obs is not None else None
+
+    def resolved_runahead(self, runahead: "RunaheadConfig") -> "RunaheadConfig":
+        """``runahead`` with this technique's pins applied.
+
+        Raises :class:`~repro.errors.ConfigError` when an explicitly
+        overridden field contradicts a pin (see
+        :func:`repro.config.pin_runahead_config`).
+        """
+        from ..config import pin_runahead_config
+
+        return pin_runahead_config(runahead, self.config_pins, technique=self.name)
 
     def emit_event(self, cycle: int, kind: str, pc: int = 0, info: int = 0) -> None:
         """Record a runahead event (no-op unless tracing is enabled)."""

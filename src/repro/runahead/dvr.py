@@ -24,10 +24,14 @@ main thread. The flow implemented here follows the paper:
    finally vectorises up to 128 inner-loop start addresses drawn from
    many inner-loop invocations at once.
 
-Ablation flags reproduce the paper's Figure 8 configurations:
-``discovery_enabled=False, nested_enabled=False`` is the "Offload"
-configuration (trigger on any stride, fixed 128 lanes), adding
-Discovery gives configuration 3, and the full DVR adds Nested mode.
+The paper's Figure 8 ablation configurations are expressed as
+declarative config pins in the technique registry
+(:mod:`repro.techniques`): ``dvr-offload`` pins
+``runahead.discovery_enabled=False, nested_enabled=False`` (trigger on
+any stride, fixed 128 lanes), ``dvr-discovery`` adds Discovery back,
+and full DVR adds Nested mode. The engine itself reads every flag from
+the resolved :class:`~repro.config.RunaheadConfig` — the config is the
+only source of truth.
 """
 
 from __future__ import annotations
@@ -60,17 +64,8 @@ _NDM_OUTER_LANES = 16
 class DecoupledVectorRunahead(Technique):
     name = "dvr"
 
-    def __init__(
-        self,
-        discovery_enabled: Optional[bool] = None,
-        nested_enabled: Optional[bool] = None,
-        reconvergence_enabled: Optional[bool] = None,
-        name: Optional[str] = None,
-    ) -> None:
+    def __init__(self, name: Optional[str] = None) -> None:
         super().__init__()
-        self._discovery_override = discovery_enabled
-        self._nested_override = nested_enabled
-        self._reconvergence_override = reconvergence_enabled
         if name:
             self.name = name
         self.shadow = ShadowState()
@@ -105,7 +100,7 @@ class DecoupledVectorRunahead(Technique):
 
     def attach(self, core) -> None:
         super().attach(core)
-        cfg = core.config.runahead
+        cfg = self.resolved_runahead(core.config.runahead)
         self.detector = StrideDetector(
             entries=cfg.stride_detector_entries,
             confidence_threshold=cfg.stride_confidence,
@@ -115,19 +110,9 @@ class DecoupledVectorRunahead(Technique):
         self.timeout = cfg.instruction_timeout
         self.nested_threshold = cfg.nested_threshold
         self.reconv_depth = cfg.reconvergence_stack_depth
-        self.discovery_enabled = (
-            cfg.discovery_enabled
-            if self._discovery_override is None
-            else self._discovery_override
-        )
-        self.nested_enabled = (
-            cfg.nested_enabled if self._nested_override is None else self._nested_override
-        )
-        self.reconvergence_enabled = (
-            cfg.reconvergence_enabled
-            if self._reconvergence_override is None
-            else self._reconvergence_override
-        )
+        self.discovery_enabled = cfg.discovery_enabled
+        self.nested_enabled = cfg.nested_enabled
+        self.reconvergence_enabled = cfg.reconvergence_enabled
 
     def _new_stack(self) -> Optional[ReconvergenceStack]:
         if not self.reconvergence_enabled:

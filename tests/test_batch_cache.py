@@ -260,11 +260,24 @@ class TestWorkloadDispatch:
         with pytest.raises(TypeError, match="genuine bug"):
             run_simulation("brokenwl", "ooo", max_instructions=100, input_name="KR")
 
-    def test_input_name_silently_ignored_for_hpc_db(self):
+    def test_input_name_dropped_for_hpc_db(self):
+        # Spec normalization drops input_name for workloads whose
+        # builder does not take one, so the two runs are the *same*
+        # run: identical label, identical results, identical cache key.
         result = run_simulation("camel", "ooo", max_instructions=800, input_name="KR")
-        assert result.workload == "camel_KR"  # label keeps the requested input
+        assert result.workload == "camel"
         baseline = run_simulation("camel", "ooo", max_instructions=800)
         assert result.ipc == baseline.ipc
+        from repro.experiments import RunSpec
+
+        with_input = RunSpec("camel", max_instructions=800, input_name="KR")
+        without = RunSpec("camel", max_instructions=800)
+        assert with_input.key() == without.key()
+        # A graph workload's input_name stays identity-bearing.
+        assert (
+            RunSpec("bfs", max_instructions=800, input_name="KR").key()
+            != RunSpec("bfs", max_instructions=800).key()
+        )
 
 
 class TestBatchCLI:

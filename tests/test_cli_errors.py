@@ -10,9 +10,17 @@ class TestArgumentValidation:
         with pytest.raises(SystemExit):
             main(["explode"])
 
-    def test_run_requires_workload(self):
-        with pytest.raises(SystemExit):
-            main(["run"])
+    def test_run_requires_workload_or_spec(self, capsys):
+        # --workload is no longer argparse-required (a spec file can
+        # name the workload), but a bare `repro run` is still an error.
+        assert main(["run"]) == 2
+        assert "--workload or --spec" in capsys.readouterr().err
+
+    def test_run_rejects_spec_plus_workload(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        path.write_text('{"schema": "repro.spec/1", "workload": "camel"}')
+        assert main(["run", "--spec", str(path), "--workload", "camel"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
 
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):

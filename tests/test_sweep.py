@@ -137,9 +137,9 @@ class TestZeroIpcBaseline:
 
         def fake_run_batch(specs, **kwargs):
             return [
-                _fake_result(s["technique"], cycles=0, instructions=0)
-                if s["technique"] == "ooo"
-                else _fake_result(s["technique"], cycles=500, instructions=400)
+                _fake_result(s.technique, cycles=0, instructions=0)
+                if s.technique == "ooo"
+                else _fake_result(s.technique, cycles=500, instructions=400)
                 for s in specs
             ]
 
@@ -163,7 +163,7 @@ class TestZeroIpcBaseline:
         def fake_run_batch(specs, **kwargs):
             out = []
             for s in specs:
-                if s["technique"] == "ooo":
+                if s.technique == "ooo":
                     # First seed's baseline is dead, second is alive.
                     dead = seen["n"] % 2 == 0
                     seen["n"] += 1
@@ -171,7 +171,7 @@ class TestZeroIpcBaseline:
                         _fake_result("ooo", 0 if dead else 400, 0 if dead else 400)
                     )
                 else:
-                    out.append(_fake_result(s["technique"], 500, 400))
+                    out.append(_fake_result(s.technique, 500, 400))
             return out
 
         monkeypatch.setattr(sweep_module, "run_batch", fake_run_batch)

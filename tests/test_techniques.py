@@ -41,12 +41,47 @@ class TestRegistry:
     def test_fresh_instance_per_call(self):
         assert make_technique("dvr") is not make_technique("dvr")
 
-    def test_ablation_flags(self):
+    def test_ablation_pins(self):
+        # Ablations are declarative config pins, not constructor
+        # arguments; the flags themselves are read from the attached
+        # core's (pin-resolved) config.
         offload = make_technique("dvr-offload")
-        assert offload._discovery_override is False
-        assert offload._nested_override is False
+        assert offload.config_pins == {
+            "discovery_enabled": False,
+            "nested_enabled": False,
+        }
         noreconv = make_technique("dvr-noreconv")
-        assert noreconv._reconvergence_override is False
+        assert noreconv.config_pins == {"reconvergence_enabled": False}
+        assert make_technique("dvr").config_pins == {}
+
+    def test_ablation_flags_resolve_from_config(self):
+        program, mem = build_indirect_kernel(levels=1)
+        technique = make_technique("dvr-offload")
+        OoOCore(program, mem, quick_config(), technique=technique)
+        assert technique.discovery_enabled is False
+        assert technique.nested_enabled is False
+        assert technique.reconvergence_enabled is True
+
+    def test_explicit_override_conflicting_with_pin_raises(self):
+        from repro.errors import ConfigError
+        from repro.experiments import RunSpec
+
+        # A field left at its default is pinned silently; an explicit
+        # override contradicting the pin is a hard error, even when the
+        # overridden value equals the dataclass default.
+        RunSpec("camel", technique="dvr-offload").resolved()
+        with pytest.raises(ConfigError):
+            RunSpec(
+                "camel",
+                technique="dvr-offload",
+                overrides=(("runahead.discovery_enabled", True),),
+            ).resolved()
+        # Agreeing with the pin is never a conflict.
+        RunSpec(
+            "camel",
+            technique="dvr-offload",
+            overrides=(("runahead.discovery_enabled", False),),
+        ).resolved()
 
 
 class TestStridePrefetcherUnit:
