@@ -1,0 +1,416 @@
+"""Registered invariant checks over end-of-run simulator state.
+
+Every check is a function ``(AuditContext) -> List[str]`` returning the
+violations it found (empty list = law holds). Checks are registered in
+``CHECKS`` in declaration order with :func:`register_check`; the runner
+evaluates all of them (or a named subset) after a simulation finishes.
+
+The laws mirror the paper's own bookkeeping: the Figure 9/10/11 inputs
+are all derived from the ``mem.*`` counters, so a counter that lies
+silently corrupts a headline figure. The audit makes the books balance
+on every run instead of trusting them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..core.functional import FunctionalCore
+from ..memory.hierarchy import LEVEL_L1
+from ..observability import CounterRegistry
+from .report import CheckResult, RunAudit
+
+CHECKS: Dict[str, Callable[["AuditContext"], List[str]]] = {}
+
+
+def register_check(name: str):
+    """Register an invariant check under ``name`` (declaration order kept)."""
+
+    def decorate(fn):
+        CHECKS[name] = fn
+        return fn
+
+    return decorate
+
+
+@dataclass
+class AuditContext:
+    """Everything a check may inspect after one run.
+
+    ``rebuild`` recreates the run's functional core over a fresh
+    workload image (same program transform, same seed) so the
+    equivalence check can re-execute architecturally from scratch.
+    """
+
+    core: object  # OoOCore or CycleCore, post-run
+    result: object  # SimulationResult
+    rebuild: Optional[Callable[[], FunctionalCore]] = None
+
+    @property
+    def hierarchy(self):
+        return self.core.hierarchy
+
+    @property
+    def functional(self):
+        return getattr(self.core, "functional", None)
+
+
+# -- counter conservation ----------------------------------------------------
+
+
+@register_check("counters.demand-levels")
+def check_demand_levels(ctx: AuditContext) -> List[str]:
+    """Every demand load is satisfied at exactly one level."""
+    stats = ctx.hierarchy.stats
+    total = sum(stats.demand_level_counts.values())
+    if total != stats.demand_loads:
+        return [
+            f"demand level counts sum to {total}, "
+            f"but {stats.demand_loads} demand loads were issued"
+        ]
+    return []
+
+
+@register_check("counters.level-identities")
+def check_level_identities(ctx: AuditContext) -> List[str]:
+    """The published ``mem.*`` hit/miss identities hold.
+
+    Verified on a fresh publication of the raw whole-run stats (the
+    result's own counters may be ROI-adjusted) and on the result's
+    published registry.
+    """
+    violations: List[str] = []
+    raw = CounterRegistry()
+    ctx.hierarchy.publish_counters(raw)
+    for label, counters in (("raw", raw.snapshot()), ("published", ctx.result.counters)):
+        get = counters.get
+        if get("mem.l1.hits", 0) + get("mem.l1.misses", 0) != get("mem.demand.loads", 0):
+            violations.append(
+                f"{label}: mem.l1.hits + mem.l1.misses != mem.demand.loads "
+                f"({get('mem.l1.hits', 0)} + {get('mem.l1.misses', 0)} != "
+                f"{get('mem.demand.loads', 0)})"
+            )
+        if get("mem.l2.misses", 0) != get("mem.l3.hits", 0) + get("mem.l3.misses", 0):
+            violations.append(
+                f"{label}: mem.l2.misses != mem.l3.hits + mem.l3.misses "
+                f"({get('mem.l2.misses', 0)} != {get('mem.l3.hits', 0)} + "
+                f"{get('mem.l3.misses', 0)})"
+            )
+        expected_misses = (
+            get("mem.mshr.merges", 0) + get("mem.l2.hits", 0) + get("mem.l2.misses", 0)
+        )
+        if get("mem.l1.misses", 0) != expected_misses:
+            violations.append(
+                f"{label}: mem.l1.misses != mshr.merges + l2.hits + l2.misses "
+                f"({get('mem.l1.misses', 0)} != {expected_misses})"
+            )
+    return violations
+
+
+@register_check("counters.timeliness")
+def check_timeliness_partition(ctx: AuditContext) -> List[str]:
+    """Timeliness buckets partition the tracked prefetched lines.
+
+    Each line entered into the Figure 11 tracker is classified exactly
+    once — at its first demand, or into Unused by ``finalize_timeliness``.
+    """
+    stats = ctx.hierarchy.stats
+    bucketed = sum(stats.timeliness.values())
+    if bucketed != stats.prefetch_tracked:
+        return [
+            f"timeliness buckets hold {bucketed} lines, "
+            f"but {stats.prefetch_tracked} prefetched lines were tracked "
+            "(finalize_timeliness not run, or lines double-classified)"
+        ]
+    return []
+
+
+@register_check("counters.prefetch-outcomes")
+def check_prefetch_outcomes(ctx: AuditContext) -> List[str]:
+    """Per-level prefetch outcomes partition the issued prefetches."""
+    stats = ctx.hierarchy.stats
+    violations: List[str] = []
+    for source, issued in stats.prefetches_by_source.items():
+        prefix = f"{source}."
+        satisfied = sum(
+            count
+            for key, count in stats.prefetch_outcomes.items()
+            if key.startswith(prefix)
+        )
+        if satisfied != issued:
+            violations.append(
+                f"prefetch outcomes for source {source!r} sum to {satisfied}, "
+                f"but {issued} prefetches were issued"
+            )
+    legacy = sum(
+        count
+        for key, count in stats.prefetch_outcomes.items()
+        if key.endswith(f".{LEVEL_L1}")
+    )
+    if legacy != stats.prefetch_already_cached:
+        violations.append(
+            "prefetch_already_cached disagrees with the L1 outcome column "
+            f"({stats.prefetch_already_cached} != {legacy})"
+        )
+    return violations
+
+
+# -- MSHR file laws ----------------------------------------------------------
+
+
+@register_check("mshr.merges")
+def check_mshr_merges(ctx: AuditContext) -> List[str]:
+    """Only real merged requests count toward ``merged_requests``.
+
+    A stats-neutral scheduling query (``load_needs_mshr``) going through
+    the counting ``lookup`` inflates the file counter past the accesses
+    that actually merged in the hierarchy — the exact bug this check
+    was built to catch.
+    """
+    mshrs = ctx.hierarchy.mshrs
+    hits = ctx.hierarchy.stats.mshr_merge_hits
+    if mshrs.merged_requests != hits:
+        return [
+            f"MSHR file counted {mshrs.merged_requests} merged requests, "
+            f"but the hierarchy performed {hits} merges "
+            "(a pure query is counting as a merge?)"
+        ]
+    return []
+
+
+@register_check("mshr.occupancy")
+def check_mshr_occupancy(ctx: AuditContext) -> List[str]:
+    """Allocation/occupancy accounting is self-consistent."""
+    mshrs = ctx.hierarchy.mshrs
+    violations: List[str] = []
+    if mshrs.peak_occupancy > mshrs.num_entries:
+        violations.append(
+            f"peak occupancy {mshrs.peak_occupancy} exceeds the "
+            f"{mshrs.num_entries}-entry file"
+        )
+    if mshrs.total_allocations < mshrs.peak_occupancy:
+        violations.append(
+            f"{mshrs.total_allocations} allocations cannot produce a peak "
+            f"of {mshrs.peak_occupancy} live entries"
+        )
+    interval_sum = mshrs.interval_integral()
+    if interval_sum != mshrs.occupancy_integral:
+        violations.append(
+            f"busy intervals integrate to {interval_sum}, "
+            f"occupancy_integral says {mshrs.occupancy_integral}"
+        )
+    cycles = max(1, int(ctx.result.cycles))
+    mean = mshrs.mean_occupancy(cycles)
+    if mean < 0 or mean * cycles > mshrs.occupancy_integral + 1e-6:
+        violations.append(
+            f"mean occupancy {mean:.3f} over {cycles} cycles is inconsistent "
+            f"with an occupancy integral of {mshrs.occupancy_integral}"
+        )
+    return violations
+
+
+@register_check("mshr.reclamation")
+def check_mshr_reclamation(ctx: AuditContext) -> List[str]:
+    """No entry outlives its ready cycle past the purge horizon.
+
+    Purging at the latest ready cycle among the in-flight entries must
+    reclaim all of them; anything left is a zombie the lazy-purge logic
+    will never free.
+    """
+    mshrs = ctx.hierarchy.mshrs
+    inflight = mshrs.inflight()
+    if not inflight:
+        return []
+    horizon = max(inflight.values())
+    mshrs.occupancy(horizon)  # forces a purge at the horizon
+    stale = {
+        line: ready for line, ready in mshrs.inflight().items() if ready <= horizon
+    }
+    if stale:
+        return [
+            f"{len(stale)} MSHR entries survived a purge at cycle {horizon} "
+            f"despite being ready (lines {sorted(stale)[:4]}...)"
+        ]
+    return []
+
+
+# -- cache-hierarchy structure ----------------------------------------------
+
+
+@register_check("cache.inclusion")
+def check_cache_inclusion(ctx: AuditContext) -> List[str]:
+    """The hierarchy is inclusive with monotone fill cycles.
+
+    Every line resident in an inner level must be backed by the outer
+    level, and the outer copy cannot have been filled later than the
+    inner one (fills flow outside-in on the same miss).
+    """
+    h = ctx.hierarchy
+    violations: List[str] = []
+    pairs = ((h.l1, h.l2), (h.l2, h.l3))
+    for inner, outer in pairs:
+        outer_lines = outer.lines()
+        orphans = 0
+        skewed = 0
+        for line, fill in inner.lines().items():
+            outer_fill = outer_lines.get(line)
+            if outer_fill is None:
+                orphans += 1
+            elif outer_fill > fill:
+                skewed += 1
+        if orphans:
+            violations.append(
+                f"{orphans} lines resident in {inner.name} have no backing "
+                f"copy in {outer.name} (stale after an outer eviction?)"
+            )
+        if skewed:
+            violations.append(
+                f"{skewed} lines in {inner.name} were filled before their "
+                f"{outer.name} copy"
+            )
+    return violations
+
+
+# -- core / result conservation ---------------------------------------------
+
+
+@register_check("core.conservation")
+def check_core_conservation(ctx: AuditContext) -> List[str]:
+    """Pipeline counters respect their orderings; the CPI stack balances."""
+    counters = ctx.result.counters
+    violations: List[str] = []
+    fetched = counters.get("core.fetch.instructions", 0)
+    committed = counters.get("core.commit.instructions", 0)
+    if committed > fetched:
+        violations.append(f"committed {committed} > fetched {fetched}")
+    predictions = counters.get("core.branch.predictions", 0)
+    mispredictions = counters.get("core.branch.mispredictions", 0)
+    if mispredictions > predictions:
+        violations.append(
+            f"{mispredictions} mispredictions > {predictions} predictions"
+        )
+    if ctx.result.cycles < 1:
+        violations.append(f"non-positive cycle count {ctx.result.cycles}")
+    buckets = ctx.result.cycle_buckets
+    if buckets:
+        total = sum(buckets.values())
+        if total != ctx.result.cycles:
+            violations.append(
+                f"CPI stack sums to {total}, run took {ctx.result.cycles} cycles"
+            )
+    return violations
+
+
+# -- timing vs functional equivalence ---------------------------------------
+
+
+@register_check("functional.equivalence")
+def check_functional_equivalence(ctx: AuditContext) -> List[str]:
+    """The timing run's architectural effects match a fresh re-execution.
+
+    Replays the committed instruction count through the reference
+    interpreter over a freshly built workload image and compares final
+    register file, memory digest, and halt state. Skipped when the run
+    used a replayed trace (no live register state to compare).
+    """
+    live = ctx.functional
+    if ctx.rebuild is None or not isinstance(live, FunctionalCore):
+        return []
+    fresh = ctx.rebuild()
+    steps = live.executed
+    while fresh.executed < steps and fresh.step_reference() is not None:
+        pass
+    violations: List[str] = []
+    if fresh.executed != steps:
+        violations.append(
+            f"reference execution halted after {fresh.executed} instructions, "
+            f"timing run consumed {steps}"
+        )
+    if fresh.halted != live.halted:
+        violations.append(
+            f"halt state diverged (reference {fresh.halted}, live {live.halted})"
+        )
+    mismatched = [
+        index
+        for index, (a, b) in enumerate(zip(fresh.regs, live.regs))
+        if a != b
+    ]
+    if mismatched:
+        violations.append(
+            f"{len(mismatched)} registers diverged (first: r{mismatched[0]})"
+        )
+    if fresh.memory.digest() != live.memory.digest():
+        violations.append("final memory image digest diverged")
+    committed = ctx.result.counters.get("core.commit.instructions", 0)
+    if committed > steps:
+        violations.append(
+            f"committed {committed} instructions but only {steps} were executed"
+        )
+    return violations
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def run_checks(
+    ctx: AuditContext,
+    names: Optional[List[str]] = None,
+    label: str = "",
+) -> RunAudit:
+    """Evaluate registered checks against one finished run.
+
+    A check that raises is reported as its own violation — a sanitizer
+    must fail loudly, never silently.
+    """
+    selected = list(CHECKS) if names is None else list(names)
+    unknown = [name for name in selected if name not in CHECKS]
+    if unknown:
+        raise KeyError(f"unknown audit checks: {unknown}")
+    outcomes: List[CheckResult] = []
+    for name in selected:
+        try:
+            violations = CHECKS[name](ctx)
+        except Exception as exc:  # noqa: BLE001 - report, don't mask
+            violations = [f"check raised {type(exc).__name__}: {exc}"]
+        outcomes.append(CheckResult(name=name, violations=violations))
+    return RunAudit(label=label, checks=outcomes)
+
+
+# -- cross-run batch counter conservation ------------------------------------
+
+def check_batch_counters(snapshot: Dict[str, int], serial: bool = False) -> CheckResult:
+    """Batch bookkeeping: every dispatched simulation is accounted for.
+
+    ``serial`` asserts the strict law (no worker processes hiding their
+    counters): completions equal dispatches, and when the snapshot comes
+    from a batch run every spec is a cache hit, a dedup reuse, a
+    completed simulation, or a recorded failure.
+    """
+    get = snapshot.get
+    violations: List[str] = []
+    runs = get("batch.sim.runs", 0)
+    completions = get("batch.sim.completions", 0)
+    if completions > runs:
+        violations.append(
+            f"batch.sim.completions={completions} exceeds batch.sim.runs={runs}"
+        )
+    if serial:
+        if runs != completions:
+            violations.append(
+                f"{runs} simulations dispatched but only {completions} completed"
+            )
+        specs = get("batch.specs", 0)
+        if specs:
+            accounted = (
+                get("batch.cache.hits", 0)
+                + get("batch.dedup.reused", 0)
+                + completions
+                + get("batch.failures", 0)
+            )
+            if accounted != specs:
+                violations.append(
+                    f"{specs} specs in, {accounted} accounted for "
+                    "(hits + dedup + completions + failures)"
+                )
+    return CheckResult(name="batch.conservation", violations=violations)

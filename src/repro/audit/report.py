@@ -1,0 +1,137 @@
+"""Structured audit reports (`repro.audit/1`).
+
+One :class:`RunAudit` per simulated spec, each holding the per-check
+outcomes; an :class:`AuditReport` aggregates a matrix sweep plus the
+cross-run batch-counter check into one JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+AUDIT_SCHEMA = "repro.audit/1"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one registered invariant check on one run."""
+
+    name: str
+    violations: List[str] = field(default_factory=list)
+    skipped: bool = False
+    note: str = ""
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_payload(self) -> Dict:
+        payload: Dict = {"name": self.name, "passed": self.passed}
+        if self.violations:
+            payload["violations"] = list(self.violations)
+        if self.skipped:
+            payload["skipped"] = True
+        if self.note:
+            payload["note"] = self.note
+        return payload
+
+
+@dataclass
+class RunAudit:
+    """All check outcomes for one simulated run."""
+
+    label: str
+    checks: List[CheckResult] = field(default_factory=list)
+    spec: Optional[Dict] = None
+    error: Optional[str] = None  # the run itself failed before checks
+
+    @property
+    def violations(self) -> List[str]:
+        found = [f"{c.name}: {v}" for c in self.checks for v in c.violations]
+        if self.error:
+            found.append(f"run-error: {self.error}")
+        return found
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_payload(self) -> Dict:
+        payload: Dict = {
+            "label": self.label,
+            "passed": self.passed,
+            "checks": [c.to_payload() for c in self.checks],
+        }
+        if self.spec is not None:
+            payload["spec"] = self.spec
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass
+class AuditReport:
+    """A full audit sweep: per-run records plus cross-run checks."""
+
+    runs: List[RunAudit] = field(default_factory=list)
+    batch: Optional[CheckResult] = None
+
+    @property
+    def violations(self) -> List[str]:
+        found = [f"{r.label} {v}" for r in self.runs for v in r.violations]
+        if self.batch is not None:
+            found.extend(f"batch {v}" for v in self.batch.violations)
+        return found
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_payload(self) -> Dict:
+        checks_run = sum(len(r.checks) for r in self.runs)
+        if self.batch is not None:
+            checks_run += 1
+        payload: Dict = {
+            "schema": AUDIT_SCHEMA,
+            "passed": self.passed,
+            "runs": [r.to_payload() for r in self.runs],
+            "summary": {
+                "runs": len(self.runs),
+                "checks": checks_run,
+                "violations": len(self.violations),
+            },
+        }
+        if self.batch is not None:
+            payload["batch"] = self.batch.to_payload()
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_payload(), indent=indent, sort_keys=False)
+
+
+def write_report(report: AuditReport, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(report.to_json())
+        handle.write("\n")
+
+
+def format_report(report: AuditReport) -> str:
+    """Human-readable summary, one line per run plus any violations."""
+    lines: List[str] = []
+    for run in report.runs:
+        status = "ok" if run.passed else "FAIL"
+        checked = sum(1 for c in run.checks if not c.skipped)
+        lines.append(f"{status:4s} {run.label}: {checked} checks")
+        lines.extend(f"     violation: {v}" for v in run.violations)
+    if report.batch is not None:
+        status = "ok" if report.batch.passed else "FAIL"
+        lines.append(f"{status:4s} batch counters")
+        lines.extend(f"     violation: {v}" for v in report.batch.violations)
+    total = len(report.violations)
+    lines.append(
+        f"audit: {len(report.runs)} runs, "
+        f"{total} violation{'s' if total != 1 else ''}"
+    )
+    return "\n".join(lines)

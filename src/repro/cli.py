@@ -64,6 +64,14 @@ def _add_dump_spec_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_audit_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--audit", action="store_true",
+        help="run the repro.audit invariant sanitizer on every simulation"
+        " (fresh runs only — bypasses the result cache; see docs/audit.md)",
+    )
+
+
 def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
     """--jobs/--cache/--resume, shared by sweep/compare/figure/batch."""
     parser.add_argument(
@@ -153,6 +161,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-capacity", type=int, default=65_536,
         help="event ring-buffer capacity (digest covers all events)",
     )
+    _add_audit_flag(run_p)
     _add_dump_spec_flag(run_p)
 
     fig_p = sub.add_parser("figure", help="regenerate a paper figure")
@@ -181,6 +190,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--instructions", type=int, default=8_000)
     sweep_p.add_argument("--seeds", type=int, default=1, help="workload seeds to average")
     sweep_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+    _add_audit_flag(sweep_p)
     _add_batch_flags(sweep_p)
     _add_dump_spec_flag(sweep_p)
 
@@ -190,6 +200,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--instructions", type=int, default=8_000)
     cmp_p.add_argument("--seeds", type=int, default=1)
     cmp_p.add_argument("--format", choices=["text", "csv", "json"], default="text")
+    _add_audit_flag(cmp_p)
     _add_batch_flags(cmp_p)
     _add_dump_spec_flag(cmp_p)
 
@@ -214,8 +225,37 @@ def _build_parser() -> argparse.ArgumentParser:
     batch_p.add_argument("--retries", type=int, default=2,
                          help="extra pool attempts after transient worker death")
     batch_p.add_argument("--format", choices=["text", "json"], default="text")
+    _add_audit_flag(batch_p)
     _add_batch_flags(batch_p)
     _add_dump_spec_flag(batch_p)
+
+    audit_p = sub.add_parser(
+        "audit",
+        help="run the invariant sanitizer over a spec matrix",
+        description="Simulates every workload x technique point (or the"
+        " specs in --specs FILE) with the repro.audit checks enabled and"
+        " reports every broken conservation law. Exit code 1 when any"
+        " invariant is violated. See docs/audit.md.",
+    )
+    audit_p.add_argument(
+        "--workloads", nargs="+", default=["camel", "nas_is"],
+        choices=WORKLOAD_NAMES,
+    )
+    audit_p.add_argument(
+        "--techniques", nargs="+", default=["ooo", "vr", "dvr", "dvr-offload"],
+        choices=technique_names() + ["swpf"],
+    )
+    audit_p.add_argument("-n", "--instructions", type=int, default=5_000)
+    audit_p.add_argument(
+        "--specs", metavar="FILE", default=None,
+        help="audit the repro.spec/1 documents in FILE instead of the"
+        " workload x technique matrix",
+    )
+    audit_p.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the repro.audit/1 JSON report to FILE",
+    )
+    audit_p.add_argument("--format", choices=["text", "json"], default="text")
 
     pipe_p = sub.add_parser(
         "pipeview", help="ASCII pipeline timeline of a run's first instructions"
@@ -378,7 +418,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 trace=bool(spec.trace or args.trace_out),
                 trace_capacity=spec.trace_capacity,
             )
-        result = run_simulation(spec, observability=obs, replay=replay)
+        try:
+            result = run_simulation(
+                spec, observability=obs, replay=replay, audit=args.audit
+            )
+        except ReproError as exc:
+            from .errors import AuditError
+
+            if isinstance(exc, AuditError):
+                print(f"AUDIT FAILED : {exc}", file=sys.stderr)
+                return 1
+            raise
+        if args.audit and result.audit is not None:
+            print(f"audit        : {len(result.audit['checks'])} checks ok")
         print(f"workload     : {result.workload}")
         print(f"technique    : {result.technique}")
         print(f"instructions : {result.instructions}")
@@ -478,6 +530,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=list(range(1, args.seeds + 1)) if args.seeds > 1 else None,
             jobs=args.jobs,
             cache=cache,
+            audit=args.audit,
         )
         print(_render(result, args.format))
         if cache is not None:
@@ -501,6 +554,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=list(range(1, args.seeds + 1)) if args.seeds > 1 else None,
             jobs=args.jobs,
             cache=cache,
+            audit=args.audit,
         )
         print(_render(result, args.format))
         if cache is not None:
@@ -508,6 +562,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "batch":
         return _run_batch_command(args)
+    if args.command == "audit":
+        return _run_audit_command(args)
     if args.command == "pipeview":
         from .core import OoOCore, pipeview_legend, render_pipeview
         from .techniques import make_technique
@@ -583,7 +639,9 @@ def _run_batch_command(args) -> int:
     # BatchFailure in its slot (exit 1) instead of sinking the batch.
     specs = raw
     cache = _make_cache(args)
-    results = run_batch(specs, jobs=args.jobs, cache=cache, retries=args.retries)
+    results = run_batch(
+        specs, jobs=args.jobs, cache=cache, retries=args.retries, audit=args.audit
+    )
     failures = 0
     if args.format == "json":
         payload = [r.to_dict() for r in results]
@@ -604,6 +662,43 @@ def _run_batch_command(args) -> int:
     if cache is not None:
         _emit_batch_stats()
     return 1 if failures else 0
+
+
+def _run_audit_command(args) -> int:
+    """``repro audit``: sanitizer sweep over a spec matrix."""
+    from .audit import audit_specs, format_report, write_report
+    from .errors import ReproError
+    from .experiments import RunSpec
+
+    if args.specs is not None:
+        from .experiments import load_specs
+
+        try:
+            specs = [spec for spec, _runtime in load_specs(args.specs)]
+        except (OSError, ReproError) as exc:
+            print(
+                f"error: cannot load spec file {args.specs!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        specs = [
+            RunSpec(workload, technique=tech, max_instructions=args.instructions)
+            for workload in args.workloads
+            for tech in args.techniques
+        ]
+    report = audit_specs(
+        specs,
+        progress=lambda label: print(f"auditing {label}", file=sys.stderr),
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(format_report(report))
+    if args.out:
+        write_report(report, args.out)
+        print(f"report file  : {args.out}", file=sys.stderr)
+    return 0 if report.passed else 1
 
 
 def _parse_value(text: str):

@@ -156,6 +156,8 @@ class SimulationResult:
     trace_digest: Optional[str] = None
     #: Events emitted over the run (including ring-evicted ones).
     trace_events: int = 0
+    #: Per-check audit record (``repro.audit``) when the run was audited.
+    audit: Optional[Dict] = None
 
     def cpi_stack(self) -> Dict[str, float]:
         """Cycles-per-instruction attribution (Sniper-style CPI stack).
@@ -200,6 +202,7 @@ class SimulationResult:
             "counters": dict(self.counters),
             "trace_digest": self.trace_digest,
             "trace_events": self.trace_events,
+            "audit": self.audit,
         }
 
     @property
@@ -661,6 +664,9 @@ class OoOCore:
                 dram_by_source=dram,
                 prefetches_by_source=prefetches,
                 prefetch_already_cached=stats.prefetch_already_cached,
+                prefetch_outcomes=dict(stats.prefetch_outcomes),
+                prefetch_tracked=stats.prefetch_tracked,
+                mshr_merge_hits=stats.mshr_merge_hits,
                 timeliness=timeliness,
             ),
         )

@@ -33,3 +33,16 @@ class ConfigError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload could not be constructed from the given parameters."""
+
+
+class AuditError(ReproError):
+    """A model invariant was violated (see ``repro.audit``).
+
+    Carries the structured per-check record so callers (the CLI report,
+    the batch runner) can surface which law broke without re-parsing the
+    message.
+    """
+
+    def __init__(self, message: str, record=None) -> None:
+        super().__init__(message)
+        self.record = record

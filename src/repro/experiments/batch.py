@@ -203,6 +203,7 @@ def run_batch(
     retries: int = 2,
     retry_backoff: float = 0.25,
     strict: bool = False,
+    audit: bool = False,
 ) -> List[BatchOutcome]:
     """Run every spec; ``jobs`` > 1 uses a process pool.
 
@@ -221,6 +222,11 @@ def run_batch(
     :class:`SimulationResult` on success, a :class:`BatchFailure`
     otherwise. With ``strict=True`` the first failure raises
     :class:`ReproError` (carrying the worker traceback) instead.
+
+    ``audit=True`` runs every spec under the ``repro.audit`` invariant
+    sanitizer: audited specs bypass the result cache (the laws are
+    checked against a live run, never a stored payload) and a broken
+    invariant surfaces as an ``AuditError`` :class:`BatchFailure`.
     """
     _validate_jobs(jobs)
     BATCH_COUNTERS.inc("batch.batches")
@@ -233,7 +239,10 @@ def run_batch(
     parse_failures: Dict[int, BatchFailure] = {}
     for index, raw in enumerate(specs):
         try:
-            items.append(parse_spec_entry(raw))
+            spec, runtime = parse_spec_entry(raw)
+            if audit:
+                runtime = dict(runtime, audit=True)
+            items.append((spec, runtime))
         except Exception as exc:  # noqa: BLE001 — the isolation boundary
             parse_failures[index] = BatchFailure(
                 spec=canonical_spec(dict(raw)) if isinstance(raw, dict) else {},
@@ -266,7 +275,7 @@ def run_batch(
     outcomes: Dict[str, BatchOutcome] = {}
     pending: List[Tuple[str, BatchItem]] = []
     for key, item in unique:
-        cacheable = item[1].get("observability") is None
+        cacheable = item[1].get("observability") is None and not item[1].get("audit")
         hit = cache.get(key) if cache is not None and cacheable else None
         if hit is not None:
             outcomes[key] = hit
@@ -293,7 +302,10 @@ def run_batch(
         if cache is not None:
             for key, item in pending:
                 outcome = outcomes.get(key)
-                cacheable = item[1].get("observability") is None
+                cacheable = (
+                    item[1].get("observability") is None
+                    and not item[1].get("audit")
+                )
                 if isinstance(outcome, SimulationResult) and cacheable:
                     cache.put(key, outcome)
 

@@ -60,6 +60,7 @@ BATCH_COUNTER_NAMES = (
     "batch.batches",
     "batch.specs",
     "batch.sim.runs",
+    "batch.sim.completions",
     "batch.cache.hits",
     "batch.cache.misses",
     "batch.cache.stores",

@@ -7,7 +7,7 @@ from typing import Optional, Union
 from ..config import SimConfig
 from ..core.functional import FunctionalCore
 from ..core.ooo import OoOCore, SimulationResult
-from ..errors import ReproError
+from ..errors import AuditError, ReproError
 from ..isa.swpf import insert_software_prefetches
 from ..observability import Observability
 from ..perf.trace import (
@@ -40,6 +40,7 @@ def run_simulation(
     trace_capacity: int = 65_536,
     observability: Optional[Observability] = None,
     replay: str = "auto",
+    audit: bool = False,
 ) -> SimulationResult:
     """Simulate one run, described by a :class:`RunSpec` or by kwargs.
 
@@ -86,6 +87,15 @@ def run_simulation(
     functionally. Neither ``replay`` nor ``observability`` participates
     in run identity (replayed and live runs are bit-identical by
     construction).
+
+    ``audit=True`` evaluates every registered invariant check
+    (``repro.audit``) against the finished run: the structured record
+    lands on ``result.audit`` and any broken law raises
+    :class:`~repro.errors.AuditError`. Audited runs always execute
+    fresh — the ambient result cache is bypassed and ``replay`` is
+    forced off so the live architectural state is available to the
+    equivalence check. Like ``observability``/``replay``, ``audit`` is
+    runtime plumbing and never enters run identity.
     """
     if isinstance(workload, RunSpec):
         if (
@@ -99,8 +109,8 @@ def run_simulation(
             or trace_capacity != 65_536
         ):
             raise ReproError(
-                "run_simulation(spec) takes only observability/replay as "
-                "extra arguments; fold everything else into the RunSpec"
+                "run_simulation(spec) takes only observability/replay/audit "
+                "as extra arguments; fold everything else into the RunSpec"
             )
         spec = workload
     else:
@@ -115,20 +125,26 @@ def run_simulation(
             trace=trace,
             trace_capacity=trace_capacity,
         )
-    return _run_resolved(spec.resolved(), observability, replay)
+    return _run_resolved(spec.resolved(), observability, replay, audit)
 
 
 def _run_resolved(
     spec: RunSpec,
     observability: Optional[Observability],
     replay: str,
+    audit: bool = False,
 ) -> SimulationResult:
     """Execute one canonically resolved spec."""
     if replay not in ("auto", "off"):
         raise ReproError(f"replay must be 'auto' or 'off', got {replay!r}")
     cfg = spec.config
 
-    cache = active_cache() if observability is None else None
+    if audit:
+        # An audited run must actually execute, and the equivalence
+        # check needs the live functional core's register state (a
+        # replayed trace carries none).
+        replay = "off"
+    cache = active_cache() if observability is None and not audit else None
     cache_key: Optional[str] = None
     if cache is not None:
         cache_key = spec.key()
@@ -185,11 +201,30 @@ def _run_resolved(
     )
     BATCH_COUNTERS.inc("batch.sim.runs")
     result = core.run()
+    BATCH_COUNTERS.inc("batch.sim.completions")
     if capture is not None and stream_key is not None:
         store_trace(stream_key, capture.finish())
         BATCH_COUNTERS.inc("batch.trace.captures")
     if spec.technique == SOFTWARE_PREFETCH:
         result.technique = SOFTWARE_PREFETCH
+    if audit:
+        from ..audit import audit_timing_run
+
+        def rebuild() -> FunctionalCore:
+            fresh = build_workload(spec.workload, **kwargs)
+            fresh_program = fresh.program
+            if spec.technique == SOFTWARE_PREFETCH:
+                fresh_program = insert_software_prefetches(fresh_program)
+            return FunctionalCore(fresh_program, fresh.memory)
+
+        record = audit_timing_run(core, result, rebuild=rebuild)
+        result.audit = record.to_payload()
+        if not record.passed:
+            raise AuditError(
+                f"audit failed for {record.label}: "
+                + "; ".join(record.violations),
+                record,
+            )
     if cache is not None and cache_key is not None:
         cache.put(cache_key, result)
     return result

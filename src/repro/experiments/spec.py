@@ -47,7 +47,7 @@ SPEC_SCHEMA = "repro.spec/1"
 
 #: ``run_simulation`` keyword arguments that are *runtime plumbing*,
 #: not run identity: they never enter a spec or its key.
-RUNTIME_KEYS = ("observability", "replay")
+RUNTIME_KEYS = ("observability", "replay", "audit")
 
 _TRUE_TOKENS = frozenset({"true", "t", "yes", "on", "1"})
 _FALSE_TOKENS = frozenset({"false", "f", "no", "off", "0"})
@@ -360,7 +360,8 @@ def _checked_fields(data: Mapping) -> Dict:
 def split_run_kwargs(spec: Mapping) -> Tuple[RunSpec, Dict]:
     """Split a legacy kwargs dict into (identity spec, runtime extras).
 
-    ``observability`` and ``replay`` are runtime plumbing and come back
+    ``observability``, ``replay``, and ``audit`` are runtime plumbing
+    and come back
     in the second dict; an ``overrides`` mapping of dotted config paths
     is folded into the spec. Unknown keys raise :class:`ConfigError`.
     """

@@ -109,8 +109,12 @@ def run_sweep(
     input_name: Optional[str] = None,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    audit: bool = False,
 ) -> ExperimentResult:
     """Sweep one config parameter; rows: value, mean IPC, mean speedup.
+
+    ``audit=True`` runs every point under the ``repro.audit`` invariant
+    sanitizer (see ``docs/audit.md``); a broken law fails the sweep.
 
     A baseline whose behaviour the swept parameter cannot change (the
     plain ``ooo`` core under a ``runahead.*`` parameter) is simulated
@@ -130,7 +134,7 @@ def run_sweep(
         baseline_technique=baseline_technique,
         input_name=input_name,
     )
-    results = run_batch(specs, jobs=jobs, cache=cache, strict=True)
+    results = run_batch(specs, jobs=jobs, cache=cache, strict=True, audit=audit)
 
     rows: List[List] = []
     cursor = 0
@@ -208,6 +212,7 @@ def compare_techniques(
     input_name: Optional[str] = None,
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    audit: bool = False,
 ) -> ExperimentResult:
     """Speedup matrix (mean over seeds; +/- stdev columns when >1 seed).
 
@@ -229,7 +234,7 @@ def compare_techniques(
         seeds=seeds,
         input_name=input_name,
     )
-    results = run_batch(specs, jobs=jobs, cache=cache, strict=True)
+    results = run_batch(specs, jobs=jobs, cache=cache, strict=True, audit=audit)
 
     rows: List[List] = []
     cursor = 0

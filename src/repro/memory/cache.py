@@ -75,6 +75,13 @@ class Cache:
         bucket = self._set_for(line)
         bucket.pop(line, None)
 
+    def lines(self) -> Dict[int, int]:
+        """Snapshot of resident lines (line -> fill cycle). Stats-neutral."""
+        snapshot: Dict[int, int] = {}
+        for bucket in self._sets.values():
+            snapshot.update(bucket)
+        return snapshot
+
     @property
     def accesses(self) -> int:
         return self.hits + self.misses

@@ -48,6 +48,15 @@ class HierarchyStats:
     dram_by_source: Dict[str, int] = field(default_factory=dict)
     prefetches_by_source: Dict[str, int] = field(default_factory=dict)
     prefetch_already_cached: int = 0
+    # Where each issued prefetch was satisfied, keyed "<source>.<level>".
+    # Every level except DRAM means the prefetch was redundant — the line
+    # was already cached somewhere on chip or already in flight.
+    prefetch_outcomes: Dict[str, int] = field(default_factory=dict)
+    # Lines entered into the Figure 11 timeliness tracker (first issue
+    # only; re-prefetching a pending line does not re-count).
+    prefetch_tracked: int = 0
+    # Requests that actually merged into an outstanding MSHR entry.
+    mshr_merge_hits: int = 0
     # Figure 11 classification of runahead-prefetched lines.
     timeliness: Dict[str, int] = field(default_factory=dict)
 
@@ -72,9 +81,8 @@ class MemoryHierarchy:
         )
         self.line_bytes = config.line_bytes
         self.stats = HierarchyStats()
-        # line -> (source, classified?) for prefetched lines (Figure 11).
+        # line -> source for pending prefetched lines (Figure 11).
         self._prefetched_lines: Dict[int, str] = {}
-        self._classified: Dict[str, int] = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -92,7 +100,28 @@ class MemoryHierarchy:
         line = self.line_of(addr)
         if self.l1.contains(line, cycle):
             return False
-        return self.mshrs.lookup(line, cycle) is None
+        # peek, not lookup: a scheduling query is not a merged request
+        # and must not count toward mem.mshr.merges.
+        return self.mshrs.peek(line, cycle) is None
+
+    # -- fill paths ----------------------------------------------------------
+
+    def _fill_l3(self, line: int, ready: int) -> None:
+        """Fill the L3 and keep the hierarchy inclusive.
+
+        An L3 victim may still be resident in L2/L1; leaving it there
+        would let demand loads hit lines the LLC no longer backs, which
+        breaks the level-counter identities the figures rely on.
+        """
+        victim = self.l3.fill(line, ready)
+        if victim is not None:
+            self.l2.invalidate(victim)
+            self.l1.invalidate(victim)
+
+    def _fill_l2(self, line: int, ready: int) -> None:
+        victim = self.l2.fill(line, ready)
+        if victim is not None:
+            self.l1.invalidate(victim)
 
     # -- the access path -----------------------------------------------------
 
@@ -128,7 +157,7 @@ class MemoryHierarchy:
             if not self.l3.contains(line, cycle):
                 backlog = self.dram.access(cycle) - self.dram.latency
                 self.stats.bump(self.stats.dram_by_source, SOURCE_MAIN)
-                self.l3.fill(line, cycle)
+                self._fill_l3(line, cycle)
                 # With a generous (but finite) prefetch lead, a channel
                 # backlogged further than the lead throttles even the
                 # oracle to the bandwidth ceiling.
@@ -144,12 +173,15 @@ class MemoryHierarchy:
             level = LEVEL_L1
             ready = cycle + self.l1.latency
             if prefetch:
+                # Legacy counter: L1-hit redundancy only. The per-level
+                # breakdown lives in prefetch_outcomes.
                 self.stats.prefetch_already_cached += 1
         else:
             merged_ready = self.mshrs.lookup(line, cycle)
             if merged_ready is not None:
                 level = LEVEL_MSHR
                 ready = merged_ready
+                self.stats.mshr_merge_hits += 1
             else:
                 if self.l2.probe(line, cycle):
                     level = LEVEL_L2
@@ -161,22 +193,32 @@ class MemoryHierarchy:
                     level = LEVEL_DRAM
                     ready = self.dram.access(cycle)
                     self.stats.bump(self.stats.dram_by_source, source)
-                    self.l3.fill(line, ready)
+                    self._fill_l3(line, ready)
                 if level in (LEVEL_L3, LEVEL_DRAM):
-                    self.l2.fill(line, ready)
+                    self._fill_l2(line, ready)
                 self.l1.fill(line, ready)
                 if not write:
                     self.mshrs.allocate(line, cycle, ready)
 
+        if prefetch:
+            self.stats.bump(self.stats.prefetch_outcomes, f"{source}.{level}")
         if is_demand_load:
             self.stats.demand_loads += 1
             self.stats.bump(self.stats.demand_level_counts, level)
             self._classify_demand(line, level)
         if prefetch and source in (SOURCE_RUNAHEAD, SOURCE_PREFETCHER):
-            # Remember for timeliness classification; re-prefetching an
-            # already-tracked line keeps its pending status.
-            self._prefetched_lines.setdefault(line, source)
+            self._track_prefetched(line, source)
         return AccessResult(ready, level, line)
+
+    def _track_prefetched(self, line: int, source: str) -> None:
+        """Remember a prefetched line for Figure 11 classification.
+
+        Re-prefetching an already-tracked line keeps its pending status
+        and does not re-count it.
+        """
+        if line not in self._prefetched_lines:
+            self._prefetched_lines[line] = source
+            self.stats.prefetch_tracked += 1
 
     def _access_llc_only(
         self, addr: int, cycle: int, source: str, prefetch: bool
@@ -186,12 +228,16 @@ class MemoryHierarchy:
         if prefetch:
             self.stats.bump(self.stats.prefetches_by_source, source)
         if self.l3.probe(line, cycle):
+            if prefetch:
+                self.stats.bump(self.stats.prefetch_outcomes, f"{source}.{LEVEL_L3}")
             return AccessResult(cycle + self.l3.latency, LEVEL_L3, line)
         ready = self.dram.access(cycle)
         self.stats.bump(self.stats.dram_by_source, source)
-        self.l3.fill(line, ready)
+        self._fill_l3(line, ready)
+        if prefetch:
+            self.stats.bump(self.stats.prefetch_outcomes, f"{source}.{LEVEL_DRAM}")
         if prefetch and source in (SOURCE_RUNAHEAD, SOURCE_PREFETCHER):
-            self._prefetched_lines.setdefault(line, source)
+            self._track_prefetched(line, source)
         return AccessResult(ready, LEVEL_DRAM, line)
 
     # -- Figure 11 timeliness tracking ---------------------------------------
@@ -252,9 +298,13 @@ class MemoryHierarchy:
         registry.set_many(s.dram_by_source, prefix="mem.dram.accesses.")
         registry.set_many(s.prefetches_by_source, prefix="mem.prefetch.issued.")
         registry.set("mem.prefetch.already_cached", s.prefetch_already_cached)
+        registry.set_many(s.prefetch_outcomes, prefix="mem.prefetch.outcome.")
+        registry.set("mem.prefetch.tracked", s.prefetch_tracked)
         registry.set_many(s.timeliness, prefix="mem.prefetch.timeliness.")
         registry.set("mem.mshr.allocations", self.mshrs.total_allocations)
         registry.set("mem.mshr.rejections", self.mshrs.rejected_requests)
+        registry.set("mem.mshr.file_merges", self.mshrs.merged_requests)
+        registry.set("mem.mshr.peak_occupancy", self.mshrs.peak_occupancy)
         if cycles is not None:
             registry.set("mem.mshr.mean_occupancy", self.mean_mshr_occupancy(cycles))
 

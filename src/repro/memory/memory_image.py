@@ -123,12 +123,30 @@ class MemoryImage:
         return float(value) if seg.data.dtype.kind == "f" else int(value)
 
     def write_word(self, addr: int, value) -> None:
-        """Architectural write; raises on an unmapped address."""
+        """Architectural write; raises on an unmapped address.
+
+        Integer stores wrap modulo 2**64 into the word's two's-complement
+        range, matching a real 64-bit datapath (numpy would raise
+        OverflowError on out-of-range Python ints instead).
+        """
         located = self._locate(addr)
         if located is None:
             raise MemoryError_(f"write to unmapped address 0x{addr:x}")
         seg, index = located
+        if seg.data.dtype.kind == "i" and isinstance(value, int):
+            value = ((value + 2**63) % 2**64) - 2**63
         seg.data[index] = value
+
+    def digest(self) -> str:
+        """BLAKE2b digest over segment names, bases, and contents."""
+        import hashlib
+
+        h = hashlib.blake2b(digest_size=16)
+        for seg in self._segments:
+            h.update(seg.name.encode())
+            h.update(seg.base.to_bytes(8, "little"))
+            h.update(seg.data.tobytes())
+        return h.hexdigest()
 
     def read_word_speculative(self, addr: int) -> Tuple[Union[int, float], bool]:
         """Speculative read: unmapped/misaligned addresses return (0, False)."""

@@ -26,6 +26,7 @@ class MSHRFile:
         self.total_allocations = 0
         self.merged_requests = 0
         self.rejected_requests = 0
+        self.peak_occupancy = 0
         # Busy intervals for exact occupancy reporting (Figure 9).
         self._interval_starts: List[int] = []
         self._interval_ends: List[int] = []
@@ -37,13 +38,24 @@ class MSHRFile:
         for line in done:
             del self._inflight[line]
 
-    def lookup(self, line: int, cycle: int) -> Optional[int]:
-        """Ready cycle if this line is already in flight (a merge), else None."""
+    def peek(self, line: int, cycle: int) -> Optional[int]:
+        """Ready cycle if this line is in flight, else None. Stats-neutral.
+
+        Use this for pure queries (e.g. scheduling decisions); only a
+        real merged request should go through :meth:`lookup`, which
+        counts it in ``merged_requests``.
+        """
         ready = self._inflight.get(line)
         if ready is not None and ready > cycle:
-            self.merged_requests += 1
             return ready
         return None
+
+    def lookup(self, line: int, cycle: int) -> Optional[int]:
+        """Ready cycle if this line is already in flight (a merge), else None."""
+        ready = self.peek(line, cycle)
+        if ready is not None:
+            self.merged_requests += 1
+        return ready
 
     def available(self, cycle: int) -> bool:
         self._purge(cycle)
@@ -64,6 +76,7 @@ class MSHRFile:
             return False
         self._inflight[line] = ready
         self.total_allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._inflight))
         self.occupancy_integral += max(0, ready - cycle)
         if ready > cycle:
             self._interval_starts.append(cycle)
@@ -73,6 +86,17 @@ class MSHRFile:
     def occupancy(self, cycle: int) -> int:
         self._purge(cycle)
         return len(self._inflight)
+
+    def inflight(self) -> Dict[int, int]:
+        """Snapshot of in-flight entries (line -> ready cycle), un-purged."""
+        return dict(self._inflight)
+
+    def interval_integral(self) -> int:
+        """Sum of recorded busy-interval lengths (cross-check for the sweep)."""
+        return sum(
+            end - start
+            for start, end in zip(self._interval_starts, self._interval_ends)
+        )
 
     def mean_occupancy(self, total_cycles: int) -> float:
         """Mean occupied MSHRs per cycle over the run (Figure 9).
