@@ -23,9 +23,17 @@ _MEASURED = (
     "functional_step",
     "trace_replay",
     "ooo_loop",
+    "ooo_event_loop",
+    "cycle_loop",
+    "cycle_event_loop",
     "hierarchy",
     "vector_engine",
 )
+
+#: ``ooo_loop`` entry of the v0-era committed BENCH_core.json — the
+#: tick-driven loop the event kernels succeeded. Pinned here so the
+#: no-regression floor survives baseline refreshes.
+OLD_OOO_LOOP_REL = 0.402
 
 
 @pytest.mark.parametrize("name", _MEASURED)
@@ -51,3 +59,22 @@ def test_bench_payload(benchmark):
     # interpreter by >=2x (asserted with headroom for noisy CI hosts).
     rel = payload["kernels"]["functional_step"]["rel"]
     assert rel >= 1.5, f"pre-decoded step only {rel:.2f}x the reference"
+    kernels = payload["kernels"]
+    # Event-kernel gates. Ratios within one payload cancel host speed,
+    # so these hold on any machine; the floors leave ample headroom
+    # below the measured speedups (OoO ~1.3x, cycle ~3.5x).
+    ooo_ratio = kernels["ooo_event_loop"]["ips"] / kernels["ooo_loop"]["ips"]
+    assert ooo_ratio >= 1.0, (
+        f"OoO event kernel only {ooo_ratio:.2f}x its tick-driven reference"
+    )
+    cycle_ratio = kernels["cycle_event_loop"]["ips"] / kernels["cycle_loop"]["ips"]
+    assert cycle_ratio >= 2.0, (
+        f"cycle event kernel only {cycle_ratio:.2f}x its tick-driven reference"
+    )
+    # No-regression floor against the pinned v0 ooo_loop rel: the
+    # successor kernel must at least match the loop it replaced.
+    event_rel = kernels["ooo_event_loop"]["rel"]
+    assert event_rel >= OLD_OOO_LOOP_REL * 0.7, (
+        f"ooo_event_loop rel {event_rel:.3f} fell below the "
+        f"v0 ooo_loop floor {OLD_OOO_LOOP_REL * 0.7:.3f}"
+    )

@@ -302,6 +302,85 @@ def check_core_conservation(ctx: AuditContext) -> List[str]:
     return violations
 
 
+# -- event-scheduler conservation --------------------------------------------
+#
+# The ``core.sched.*`` family is published only by the event-driven
+# kernels (``OoOCore.run``/``CycleCore.run``); reference runs carry no
+# such counters, so each check keys off counter presence and passes
+# vacuously otherwise.
+
+
+@register_check("sched.conservation")
+def check_sched_conservation(ctx: AuditContext) -> List[str]:
+    """Every scheduled wakeup is eventually fired or cancelled."""
+    counters = ctx.result.counters
+    scheduled = counters.get("core.sched.events.scheduled")
+    if scheduled is None:
+        return []
+    fired = counters.get("core.sched.events.fired", 0)
+    cancelled = counters.get("core.sched.events.cancelled", 0)
+    pending = counters.get("core.sched.events.pending", 0)
+    if scheduled != fired + cancelled + pending:
+        return [
+            f"wakeup queue leaks events: scheduled {scheduled} != "
+            f"fired {fired} + cancelled {cancelled} + pending {pending}"
+        ]
+    if pending:
+        return [f"{pending} wakeups still pending after the run drained"]
+    return []
+
+
+@register_check("sched.retire-order")
+def check_sched_retire_order(ctx: AuditContext) -> List[str]:
+    """No instruction retires before its latest wakeup time."""
+    counters = ctx.result.counters
+    violations = counters.get("core.sched.retire_violations")
+    if violations is None:
+        return []
+    if violations:
+        return [
+            f"{violations} instructions retired before their completion wakeup"
+        ]
+    return []
+
+
+@register_check("sched.skip-accounting")
+def check_sched_skip_accounting(ctx: AuditContext) -> List[str]:
+    """Skipped idle spans and simulated cycles partition the clock.
+
+    The CPI-stack analogue for the event kernels: every cycle of the
+    run was either ticked (simulated) or skipped (proven idle), and
+    commits only happen on ticked cycles.
+    """
+    counters = ctx.result.counters
+    skipped = counters.get("core.sched.cycles.skipped")
+    if skipped is None:
+        return []
+    cycles = ctx.result.cycles
+    commit_cycles = counters.get("core.sched.commit_cycles", 0)
+    violations: List[str] = []
+    if commit_cycles + skipped > cycles:
+        violations.append(
+            f"commit cycles {commit_cycles} + skipped {skipped} "
+            f"exceed the run's {cycles} cycles"
+        )
+    ticked = counters.get("core.sched.cycles.ticked")
+    if ticked is not None:
+        # cycles is clamped to >= 1, so an empty run (nothing fetched)
+        # legitimately reports ticked + skipped == 0 with cycles == 1.
+        if ticked + skipped != cycles and not (
+            cycles == 1 and ticked + skipped == 0
+        ):
+            violations.append(
+                f"ticked {ticked} + skipped {skipped} != cycles {cycles}"
+            )
+        if commit_cycles > ticked:
+            violations.append(
+                f"commit cycles {commit_cycles} exceed ticked cycles {ticked}"
+            )
+    return violations
+
+
 # -- timing vs functional equivalence ---------------------------------------
 
 

@@ -12,10 +12,28 @@ It exists for validation (see ``tests/test_cross_validation.py`` and
 results exactly and on timing within a modest band across kernels and
 configurations. It supports the plain baseline (no runahead technique)
 — techniques are a property of the fast model.
+
+Like :class:`~repro.core.ooo.OoOCore`, this core has two kernels:
+
+* :meth:`CycleCore.run_reference` — the original tick-every-cycle loop,
+  kept as the executable spec.
+* :meth:`CycleCore.run` — the event-driven kernel. Busy cycles are
+  simulated exactly like the reference, but a cycle in which *nothing*
+  happened (no commit, writeback, issue, dispatch, fetch, or branch
+  binding) ends an activity burst: the kernel collects every pending
+  wakeup (in-flight completions, MSHR reclamations, fetch-redirect
+  releases, fetch-pipe readiness) into a
+  :class:`~repro.core.sched.WakeupQueue` and jumps straight to the
+  earliest one, skipping the idle span in O(1) instead of ticking
+  through it. An idle cycle with no pending wakeup and an unretired
+  ROB head is a deadlock and raises, rather than spinning to the
+  cycle guard. The two kernels are differentially tested for
+  bit-identical results (``tests/test_ooo_event_kernel.py``).
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
@@ -38,19 +56,25 @@ from ..observability.counters import CounterRegistry
 from ..observability.probes import Observability
 from ..observability.trace import EV_COMPLETE, EV_FETCH, EV_ISSUE, EV_RETIRE
 from ..prefetch.stride import StridePrefetcher
-from .functional import FunctionalCore
 from .ooo import (
+    _CLS_DIV,
     _FU_DIV,
+    _FU_INDEX,
     _FU_MEM,
     _FU_INT,
     SimulationResult,
     publish_core_counters,
 )
+from .functional import FunctionalCore
+from .sched import WakeupQueue, publish_sched_counters
 
 _WAITING = 0
 _READY = 1
 _ISSUED = 2
 _DONE = 3
+
+#: Sentinel for "fetch stalled until the mispredicted branch resolves".
+_STALL_FOREVER = 1 << 60
 
 
 class _Entry:
@@ -63,6 +87,7 @@ class _Entry:
         "complete_cycle",
         "fu_class",
         "in_iq",
+        "seq",
     )
 
     def __init__(self, dyn, deps, fu_class) -> None:
@@ -72,6 +97,43 @@ class _Entry:
         self.complete_cycle: Optional[int] = None
         self.fu_class = fu_class
         self.in_iq = True
+        # Dispatch order, assigned by the event kernel (heap tie-break
+        # that reproduces the reference's ROB-order scans exactly).
+        self.seq = 0
+
+
+def find_next_wakeup(
+    candidates: List[int],
+    rob_occupied: bool,
+    queue: WakeupQueue,
+) -> int:
+    """Register ``candidates`` and return the earliest wakeup time.
+
+    Every candidate is scheduled (so the conservation counters see it),
+    the due ones at the minimum fire, and the rest are cancelled — one
+    span's worth of bookkeeping, audited by ``sched.conservation``.
+
+    An empty candidate set while the ROB still holds an unretired entry
+    means no event can ever unblock the pipeline: that is a deadlock
+    and raises :class:`~repro.errors.SimulationError` instead of
+    spinning the cycle loop to its runaway guard.
+    """
+    tokens = [queue.schedule(time) for time in candidates]
+    wake = queue.next_time()
+    if wake is None:
+        if rob_occupied:
+            raise SimulationError(
+                "event kernel deadlock: ROB head cannot retire and "
+                "no wakeup is pending"
+            )
+        raise SimulationError(
+            "event kernel stalled with no pending wakeup and an empty ROB"
+        )
+    fired = {token for _, token, _ in queue.pop_due(wake)}
+    for token in tokens:
+        if token not in fired:
+            queue.cancel(token)
+    return wake
 
 
 class CycleCore:
@@ -108,15 +170,374 @@ class CycleCore:
             )
         self._ran = False
 
-    # -- the cycle loop -----------------------------------------------------
+    # -- the event-driven kernel --------------------------------------------
 
     def run(self, max_instructions: Optional[int] = None) -> SimulationResult:
+        """Event-driven simulation: bit-identical to :meth:`run_reference`.
+
+        Busy cycles run the same five phases in the same order; idle
+        spans are skipped by jumping to the earliest pending wakeup.
+        """
         if self._ran:
             raise SimulationError("a CycleCore instance can only run once")
         self._ran = True
         cfg = self.config.core
         limit = max_instructions or self.config.max_instructions
         width = cfg.width
+        rob_size = cfg.rob_size
+        iq_size = cfg.iq_size
+        lq_size = cfg.lq_size
+        sq_size = cfg.sq_size
+        fe_stages = cfg.frontend_stages
+        pipe_cap = 2 * width * fe_stages
+        # Per-class units/latencies as flat lists in _FU_ORDER order
+        # (hot-loop satellite: no per-cycle dict rebuilds or cfg
+        # attribute chases).
+        fu_units = [
+            cfg.int_alu_units,
+            cfg.int_mul_units,
+            cfg.int_div_units,
+            cfg.fp_add_units,
+            cfg.fp_mul_units,
+            cfg.fp_div_units,
+            cfg.mem_ports,
+        ]
+        fu_latency = [
+            cfg.int_alu_latency,
+            cfg.int_mul_latency,
+            cfg.int_div_latency,
+            cfg.fp_add_latency,
+            cfg.fp_mul_latency,
+            cfg.fp_div_latency,
+            1,  # mem: completion comes from the hierarchy, never used
+        ]
+
+        decoded = (
+            self.program.decoded()
+            if isinstance(self.program, Program)
+            else decode_program(self.program)
+        )
+        kinds = decoded.kinds
+        cls_of = [_FU_INDEX[name] for name in decoded.fu_classes]
+        op_values = decoded.op_values
+        functional_step = self.functional.step
+        hierarchy = self.hierarchy
+        hierarchy_access = hierarchy.access
+        load_needs_mshr = hierarchy.load_needs_mshr
+        mshr_available = hierarchy.mshr_available
+        mshr_next_free = hierarchy.mshr_next_free
+        line_bytes = hierarchy.line_bytes
+        l1 = hierarchy.l1
+        l1_sets = l1._sets
+        l1_num_sets = l1.num_sets
+        is_mapped = self.memory_image.is_mapped
+        predict = self.predictor.predict
+        predictor_update = self.predictor.update
+        stride_pf = self.l1_stride_prefetcher
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+
+        rob: Deque[_Entry] = deque()
+        # (complete_cycle, seq, entry) for every in-flight (ISSUED)
+        # entry: replaces the reference's whole-ROB writeback scan and
+        # doubles as the completion wakeup source. seq tie-break keeps
+        # same-cycle completions in ROB order (trace digests depend on
+        # emission order).
+        wb_heap: list = []
+        # (seq, entry) for every READY entry: replaces the whole-ROB
+        # issue scan; seq order == ROB order == the reference's select
+        # priority.
+        ready_heap: list = []
+        wq = WakeupQueue()
+        iq_occupancy = 0
+        lq_occupancy = 0
+        sq_occupancy = 0
+        fetch_pipe: Deque = deque()
+        reg_producer: List[Optional[_Entry]] = [None] * NUM_REGS
+        consumers: Dict[int, List[_Entry]] = {}
+        div_busy_until = 0
+        fetch_stalled_until = 0
+        fetch_stalled_on: Optional[_Entry] = None
+        self._pending_branch_dyn = None
+        fetched = 0
+        committed = 0
+        cycle = 0
+        seq_counter = 0
+        done_fetching = False
+        ticked = 0
+        skipped = 0
+        commit_cycles = 0
+        retire_violations = 0
+        max_cycles = 400 * limit + 100_000  # runaway guard
+        obs = self.observability
+        event_trace = obs.trace if obs is not None else None
+
+        while committed < limit and cycle < max_cycles:
+            busy = False
+
+            # ---- commit (oldest first, up to width) ----
+            commits = 0
+            while rob and commits < width and rob[0].state == _DONE:
+                entry = rob.popleft()
+                epc = entry.dyn.pc
+                if event_trace is not None:
+                    event_trace.emit(cycle, EV_RETIRE, epc, op_values[epc])
+                if entry.complete_cycle > cycle:
+                    retire_violations += 1
+                ekind = kinds[epc]
+                if ekind == K_LOAD:
+                    lq_occupancy -= 1
+                elif ekind == K_STORE:
+                    sq_occupancy -= 1
+                committed += 1
+                commits += 1
+                if committed >= limit:
+                    break
+            if commits:
+                busy = True
+                commit_cycles += 1
+
+            # ---- writeback / wakeup ----
+            while wb_heap and wb_heap[0][0] <= cycle:
+                _, seq, entry = heappop(wb_heap)
+                entry.state = _DONE
+                busy = True
+                if event_trace is not None:
+                    epc = entry.dyn.pc
+                    event_trace.emit(cycle, EV_COMPLETE, epc, op_values[epc])
+                for waiter in consumers.pop(id(entry), []):
+                    waiter.deps.discard(id(entry))
+                    if not waiter.deps and waiter.state == _WAITING:
+                        waiter.state = _READY
+                        heappush(ready_heap, (waiter.seq, waiter))
+
+            # ---- issue (ready entries, per-class bandwidth) ----
+            if ready_heap:
+                issued_per_class = [0] * 7
+                leftovers = []
+                while ready_heap:
+                    item = heappop(ready_heap)
+                    seq, entry = item
+                    cls = entry.fu_class
+                    if issued_per_class[cls] >= fu_units[cls]:
+                        leftovers.append(item)
+                        continue
+                    epc = entry.dyn.pc
+                    ekind = kinds[epc]
+                    if cls == _CLS_DIV and div_busy_until > cycle:
+                        leftovers.append(item)
+                        continue
+                    if ekind == K_LOAD:
+                        addr = entry.dyn.addr
+                        if load_needs_mshr(addr, cycle) and not mshr_available(cycle):
+                            leftovers.append(item)
+                            continue  # retry when an MSHR frees
+                        result = hierarchy_access(addr, cycle, source="main")
+                        entry.complete_cycle = result.ready
+                        if stride_pf is not None:
+                            stride_pf.on_demand_load(epc, addr, cycle, hierarchy)
+                    elif ekind == K_STORE:
+                        hierarchy_access(entry.dyn.addr, cycle, source="main", write=True)
+                        entry.complete_cycle = cycle + 1
+                    elif ekind == K_PREFETCH:
+                        if entry.dyn.addr is not None and is_mapped(entry.dyn.addr):
+                            if mshr_available(cycle):
+                                hierarchy_access(
+                                    entry.dyn.addr,
+                                    cycle,
+                                    source="prefetcher",
+                                    prefetch=True,
+                                )
+                        entry.complete_cycle = cycle + 1
+                    elif ekind >= K_BNZ:
+                        # Branches (BNZ/BEZ/JMP), NOP and HALT: kind
+                        # codes 4..8 are contiguous by construction.
+                        entry.complete_cycle = cycle + 1
+                    else:
+                        entry.complete_cycle = cycle + fu_latency[cls]
+                        if cls == _CLS_DIV:
+                            div_busy_until = cycle + fu_latency[cls]
+                    entry.state = _ISSUED
+                    busy = True
+                    if event_trace is not None:
+                        event_trace.emit(cycle, EV_ISSUE, epc, op_values[epc])
+                    if entry.in_iq:
+                        entry.in_iq = False
+                        iq_occupancy -= 1
+                    issued_per_class[cls] += 1
+                    heappush(wb_heap, (entry.complete_cycle, seq, entry))
+                    # Branch resolution unblocks fetch after the redirect.
+                    if entry is fetch_stalled_on:
+                        fetch_stalled_until = entry.complete_cycle + 1
+                        fetch_stalled_on = None
+                for item in leftovers:
+                    heappush(ready_heap, item)
+
+            # ---- dispatch (fetch pipe -> ROB/IQ/LSQ) ----
+            dispatched = 0
+            while (
+                fetch_pipe
+                and dispatched < width
+                and len(rob) < rob_size
+                and iq_occupancy < iq_size
+                and fetch_pipe[0][1] <= cycle
+            ):
+                dyn, _ = fetch_pipe[0]
+                dpc = dyn.pc
+                dkind = kinds[dpc]
+                if dkind == K_LOAD and lq_occupancy >= lq_size:
+                    break
+                if dkind == K_STORE and sq_occupancy >= sq_size:
+                    break
+                fetch_pipe.popleft()
+                instr = dyn.instr
+                deps = set()
+                entry = _Entry(dyn, deps, cls_of[dpc])
+                entry.seq = seq_counter
+                seq_counter += 1
+                for src in instr.sources():
+                    producer = reg_producer[src]
+                    if producer is not None and producer.state != _DONE:
+                        deps.add(id(producer))
+                        consumers.setdefault(id(producer), []).append(entry)
+                if deps:
+                    entry.state = _WAITING
+                else:
+                    entry.state = _READY
+                    heappush(ready_heap, (entry.seq, entry))
+                if instr.rd is not None:
+                    reg_producer[instr.rd] = entry
+                rob.append(entry)
+                iq_occupancy += 1
+                if dkind == K_LOAD:
+                    lq_occupancy += 1
+                elif dkind == K_STORE:
+                    sq_occupancy += 1
+                dispatched += 1
+            if dispatched:
+                busy = True
+
+            # ---- fetch ----
+            if not done_fetching and fetch_stalled_on is None and cycle >= fetch_stalled_until:
+                for _ in range(width):
+                    if fetched >= limit or len(fetch_pipe) >= pipe_cap:
+                        break
+                    dyn = functional_step()
+                    if dyn is None:
+                        done_fetching = True
+                        busy = True
+                        break
+                    fetched += 1
+                    busy = True
+                    fetch_pipe.append((dyn, cycle + fe_stages))
+                    fpc = dyn.pc
+                    fkind = kinds[fpc]
+                    if event_trace is not None:
+                        event_trace.emit(cycle, EV_FETCH, fpc, op_values[fpc])
+                    if fkind == K_BNZ or fkind == K_BEZ:
+                        predicted = predict(fpc)
+                        predictor_update(fpc, dyn.taken, predicted)
+                        if predicted != dyn.taken:
+                            # Stall fetch until this branch executes.
+                            fetch_stalled_on = None
+                            fetch_stalled_until = _STALL_FOREVER
+                            self._pending_branch_dyn = dyn
+                            break
+            # Bind the stalled-on marker to the branch's ROB entry once
+            # it has been dispatched.
+            if fetch_stalled_until == _STALL_FOREVER and fetch_stalled_on is None:
+                pending = self._pending_branch_dyn
+                if pending is not None:
+                    for entry in rob:
+                        if entry.dyn is pending:
+                            if entry.state in (_ISSUED, _DONE):
+                                fetch_stalled_until = entry.complete_cycle + 1
+                            else:
+                                fetch_stalled_on = entry
+                            self._pending_branch_dyn = None
+                            busy = True
+                            break
+
+            if not rob and not fetch_pipe and done_fetching:
+                break
+            if busy:
+                cycle += 1
+                ticked += 1
+                continue
+
+            # ---- idle span: jump to the next wakeup ----
+            candidates = []
+            if wb_heap:
+                candidates.append(wb_heap[0][0])
+            for seq, entry in ready_heap:
+                # On an idle cycle a READY entry can only be blocked on
+                # the divider or on a full MSHR file (anything else
+                # would have issued: per-class bandwidth resets every
+                # cycle). The fallback keeps unexpected blockers exact
+                # by degrading to a plain tick.
+                if entry.fu_class == _CLS_DIV and div_busy_until > cycle:
+                    candidates.append(div_busy_until)
+                elif kinds[entry.dyn.pc] == K_LOAD:
+                    wake_at = mshr_next_free(cycle)
+                    line = int(entry.dyn.addr) // line_bytes
+                    bucket = l1_sets.get(line % l1_num_sets)
+                    fill_cycle = bucket.get(line) if bucket is not None else None
+                    if fill_cycle is not None and cycle < fill_cycle < wake_at:
+                        # A pending fill (e.g. from a store's line) makes
+                        # the load an L1 hit before any MSHR frees.
+                        wake_at = fill_cycle
+                    if wake_at <= cycle:  # pragma: no cover - defensive
+                        wake_at = cycle + 1
+                    candidates.append(wake_at)
+                else:  # pragma: no cover - defensive fallback
+                    candidates.append(cycle + 1)
+            if fetch_pipe and fetch_pipe[0][1] > cycle:
+                candidates.append(fetch_pipe[0][1])
+            if (
+                not done_fetching
+                and fetch_stalled_on is None
+                and cycle < fetch_stalled_until != _STALL_FOREVER
+            ):
+                candidates.append(fetch_stalled_until)
+            wake = find_next_wakeup(candidates, bool(rob), wq)
+            if wake > max_cycles:
+                wake = max_cycles
+            skipped += wake - cycle - 1
+            ticked += 1
+            cycle = wake
+
+        if cycle >= max_cycles:
+            raise SimulationError("CycleCore exceeded its cycle guard")
+        return self._finalize(
+            cycle,
+            fetched,
+            committed,
+            event_trace,
+            sched={
+                "ticked": ticked,
+                "skipped": skipped,
+                "commit_cycles": commit_cycles,
+                "retire_violations": retire_violations,
+                "queue": wq,
+            },
+        )
+
+    # -- the reference cycle loop -------------------------------------------
+
+    def run_reference(self, max_instructions: Optional[int] = None) -> SimulationResult:
+        """The original tick-every-cycle loop, kept as the executable spec."""
+        if self._ran:
+            raise SimulationError("a CycleCore instance can only run once")
+        self._ran = True
+        cfg = self.config.core
+        limit = max_instructions or self.config.max_instructions
+        width = cfg.width
+        rob_size = cfg.rob_size
+        iq_size = cfg.iq_size
+        lq_size = cfg.lq_size
+        sq_size = cfg.sq_size
+        fe_stages = cfg.frontend_stages
+        pipe_cap = 2 * width * fe_stages
         fu_units = {
             _FU_INT: cfg.int_alu_units,
             "mul": cfg.int_mul_units,
@@ -259,16 +680,16 @@ class CycleCore:
             while (
                 fetch_pipe
                 and dispatched < width
-                and len(rob) < cfg.rob_size
-                and iq_occupancy < cfg.iq_size
+                and len(rob) < rob_size
+                and iq_occupancy < iq_size
                 and fetch_pipe[0][1] <= cycle
             ):
                 dyn, _ = fetch_pipe[0]
                 dpc = dyn.pc
                 dkind = kinds[dpc]
-                if dkind == K_LOAD and lq_occupancy >= cfg.lq_size:
+                if dkind == K_LOAD and lq_occupancy >= lq_size:
                     break
-                if dkind == K_STORE and sq_occupancy >= cfg.sq_size:
+                if dkind == K_STORE and sq_occupancy >= sq_size:
                     break
                 fetch_pipe.popleft()
                 instr = dyn.instr
@@ -293,14 +714,14 @@ class CycleCore:
             # ---- fetch ----
             if not done_fetching and fetch_stalled_on is None and cycle >= fetch_stalled_until:
                 for _ in range(width):
-                    if fetched >= limit or len(fetch_pipe) >= 2 * width * cfg.frontend_stages:
+                    if fetched >= limit or len(fetch_pipe) >= pipe_cap:
                         break
                     dyn = functional_step()
                     if dyn is None:
                         done_fetching = True
                         break
                     fetched += 1
-                    fetch_pipe.append((dyn, cycle + cfg.frontend_stages))
+                    fetch_pipe.append((dyn, cycle + fe_stages))
                     fpc = dyn.pc
                     fkind = kinds[fpc]
                     if event_trace is not None:
@@ -333,9 +754,22 @@ class CycleCore:
 
         if cycle >= max_cycles:
             raise SimulationError("CycleCore exceeded its cycle guard")
+        return self._finalize(cycle, fetched, committed, event_trace)
+
+    # -- shared epilogue ------------------------------------------------------
+
+    def _finalize(
+        self,
+        cycle: int,
+        fetched: int,
+        committed: int,
+        event_trace,
+        sched: Optional[dict] = None,
+    ) -> SimulationResult:
         self.hierarchy.finalize_timeliness()
         cycles = max(1, cycle)
         stats = self.hierarchy.stats
+        obs = self.observability
         registry = obs.counters if obs is not None else CounterRegistry()
         publish_core_counters(
             registry,
@@ -349,6 +783,19 @@ class CycleCore:
             mispredictions=self.predictor.mispredictions,
             buckets={},
         )
+        if sched is not None:
+            wq = sched["queue"]
+            publish_sched_counters(
+                registry,
+                fired=wq.fired,
+                commit_cycles=sched["commit_cycles"],
+                skipped=sched["skipped"],
+                ticked=sched["ticked"],
+                scheduled=wq.scheduled,
+                cancelled=wq.cancelled,
+                pending=wq.pending,
+                retire_violations=sched["retire_violations"],
+            )
         self.hierarchy.publish_counters(registry, cycles=cycles)
         return SimulationResult(
             workload=self.workload_name,

@@ -1,0 +1,183 @@
+"""Event/wakeup scheduling primitives for the timing kernels.
+
+The tick-driven reference loops (``OoOCore.run_reference``,
+``CycleCore.run_reference``) burn one Python iteration per simulated
+cycle — during a 200-cycle DRAM stall they spin 200 times discovering
+nothing to do. The event-driven kernels instead keep a monotonic queue
+of *wakeup times* (DRAM-stall completions, MSHR reclamations, IQ
+wakeups, branch-redirect releases, ROB-head retirement) and jump
+straight to the next time anything can change.
+
+:class:`WakeupQueue` is that queue: a lazy-cancellation binary heap with
+a monotone time watermark and full conservation accounting — every
+scheduled event is eventually fired or cancelled, and the counters
+(published as ``core.sched.*`` and audited by the ``sched.*`` invariant
+checks) prove it. Time never moves backwards: scheduling into the past
+or draining out of order raises, instead of silently corrupting timing.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class WakeupQueue:
+    """Monotonic min-heap of wakeup times with lazy cancellation.
+
+    Tokens returned by :meth:`schedule` identify events for
+    :meth:`cancel`. Cancelled events stay in the heap and are discarded
+    when they surface (lazy deletion), so both operations are
+    O(log n) amortised.
+
+    Conservation law (checked by ``sched.conservation``)::
+
+        scheduled == fired + cancelled + pending
+    """
+
+    __slots__ = ("_heap", "_live", "_seq", "_now", "scheduled", "fired", "cancelled")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int]] = []  # (time, token)
+        self._live: Dict[int, int] = {}  # token -> time
+        self._seq = 0
+        self._now = 0
+        self.scheduled = 0
+        self.fired = 0
+        self.cancelled = 0
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, time: int, payload: object = None) -> int:
+        """Register a wakeup at ``time`` (>= the current watermark).
+
+        Returns a token usable with :meth:`cancel`. ``payload`` is
+        returned by :meth:`pop_due` alongside the token.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"wakeup scheduled at {time}, but time already advanced to {self._now}"
+            )
+        token = self._seq
+        self._seq = token + 1
+        self._live[token] = time
+        if payload is None:
+            heapq.heappush(self._heap, (time, token))
+        else:
+            heapq.heappush(self._heap, (time, token, payload))
+        self.scheduled += 1
+        return token
+
+    def cancel(self, token: int) -> bool:
+        """Withdraw a pending event; False if already fired/cancelled."""
+        if self._live.pop(token, None) is None:
+            return False
+        self.cancelled += 1
+        return True
+
+    # -- draining -------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """The monotone time watermark (last drained instant)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events scheduled but not yet fired or cancelled."""
+        return len(self._live)
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def next_time(self) -> Optional[int]:
+        """Earliest pending wakeup time, or None when the queue is empty."""
+        heap = self._heap
+        live = self._live
+        while heap:
+            entry = heap[0]
+            if live.get(entry[1]) == entry[0]:
+                return entry[0]
+            heapq.heappop(heap)  # lazily discard a cancelled event
+        return None
+
+    def pop_due(self, now: int) -> List[Tuple[int, int, object]]:
+        """Fire every event with time <= ``now``; returns [(time, token, payload)].
+
+        Advances the watermark to ``now`` — draining out of order (a
+        ``now`` below the watermark) raises, which is what turns a
+        scheduler bug into a loud failure instead of time warping
+        backwards.
+        """
+        if now < self._now:
+            raise SimulationError(
+                f"event drain at {now} after time advanced to {self._now}"
+            )
+        self._now = now
+        heap = self._heap
+        live = self._live
+        due: List[Tuple[int, int, object]] = []
+        while heap and heap[0][0] <= now:
+            entry = heapq.heappop(heap)
+            time, token = entry[0], entry[1]
+            if live.get(token) != time:
+                continue  # cancelled
+            del live[token]
+            self.fired += 1
+            due.append((time, token, entry[2] if len(entry) > 2 else None))
+        return due
+
+    def skip_to(self, now: int) -> int:
+        """Advance the watermark without firing anything strictly later.
+
+        Used when the kernel jumps over an idle span: events due at or
+        before ``now`` must already have been drained, otherwise the
+        skip would swallow a wakeup — that is the "never loses a
+        wakeup" property the hypothesis suite pins.
+        """
+        if now < self._now:
+            raise SimulationError(
+                f"skip to {now} after time advanced to {self._now}"
+            )
+        nxt = self.next_time()
+        if nxt is not None and nxt <= now:
+            raise SimulationError(
+                f"skip to {now} would swallow a wakeup scheduled at {nxt}"
+            )
+        self._now = now
+        return now
+
+
+def publish_sched_counters(
+    registry,
+    *,
+    fired: int,
+    commit_cycles: int,
+    skipped: int,
+    ticked: Optional[int] = None,
+    scheduled: Optional[int] = None,
+    cancelled: Optional[int] = None,
+    pending: Optional[int] = None,
+    retire_violations: int = 0,
+) -> None:
+    """Publish the ``core.sched.*`` family (shared by both event kernels).
+
+    The analytic OoO kernel publishes event/commit-cycle accounting
+    only; the cycle-accurate event kernel additionally reports its
+    wakeup-queue conservation triple and tick/skip split. The audit
+    checks (``sched.*``) key off which counters are present.
+    """
+    registry.set("core.sched.events.fired", fired)
+    registry.set("core.sched.commit_cycles", commit_cycles)
+    registry.set("core.sched.cycles.skipped", skipped)
+    registry.set("core.sched.retire_violations", retire_violations)
+    if ticked is not None:
+        registry.set("core.sched.cycles.ticked", ticked)
+    if scheduled is not None:
+        registry.set("core.sched.events.scheduled", scheduled)
+    if cancelled is not None:
+        registry.set("core.sched.events.cancelled", cancelled)
+    if pending is not None:
+        registry.set("core.sched.events.pending", pending)

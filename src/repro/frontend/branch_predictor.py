@@ -10,41 +10,38 @@ the ROB from filling and starve stall-triggered runahead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from ..config import BranchPredictorConfig
 
 
-@dataclass
-class _TaggedEntry:
-    tag: int = 0
-    counter: int = 4  # 3-bit, taken if >= 4
-    useful: int = 0
-
-
 class _TaggedTable:
+    """One tagged component, stored as parallel int arrays.
+
+    Entry *i* is ``(tags[i], counters[i], useful[i])`` — flat lists keep
+    the per-branch probe down to two list indexings instead of an
+    attribute chase through per-entry objects. Counters are 3-bit
+    (taken if >= 4); useful is 2-bit.
+    """
+
+    __slots__ = (
+        "size",
+        "index_mask",
+        "tag_mask",
+        "history_length",
+        "tags",
+        "counters",
+        "useful",
+    )
+
     def __init__(self, entries_bits: int, tag_bits: int, history_length: int) -> None:
         self.size = 1 << entries_bits
         self.index_mask = self.size - 1
         self.tag_mask = (1 << tag_bits) - 1
         self.history_length = history_length
-        self.entries: List[_TaggedEntry] = [_TaggedEntry() for _ in range(self.size)]
-
-    def _fold(self, history: int, bits: int) -> int:
-        """Fold ``history_length`` history bits down to ``bits`` bits."""
-        hist = history & ((1 << self.history_length) - 1)
-        folded = 0
-        while hist:
-            folded ^= hist & ((1 << bits) - 1)
-            hist >>= bits
-        return folded
-
-    def index(self, pc: int, history: int) -> int:
-        return (pc ^ (pc >> 4) ^ self._fold(history, 10)) & self.index_mask
-
-    def tag(self, pc: int, history: int) -> int:
-        return (pc ^ self._fold(history, 8) ^ (self._fold(history, 7) << 1)) & self.tag_mask
+        self.tags = [0] * self.size
+        self.counters = [4] * self.size
+        self.useful = [0] * self.size
 
 
 class TageLitePredictor:
@@ -66,6 +63,16 @@ class TageLitePredictor:
         self._alloc_seed = 0x9E3779B9
         self.predictions = 0
         self.mispredictions = 0
+        # Folded-history values are pure functions of (history, length,
+        # bits); within one history epoch (between update()s) the same
+        # folds are needed by predict, update, and allocate, so they are
+        # memoised here and invalidated when the history shifts.
+        self._fold_cache: dict = {}
+        # predict(pc) immediately followed by update(pc, ...) — the
+        # pattern both timing cores use — can reuse the provider lookup
+        # instead of re-probing every tagged table.
+        self._cached_provider_pc: Optional[int] = None
+        self._cached_provider = None
 
     @staticmethod
     def _geometric_lengths(lo: int, hi: int, n: int) -> List[int]:
@@ -76,33 +83,71 @@ class TageLitePredictor:
 
     # -- prediction ------------------------------------------------------------
 
+    def _fold(self, history_length: int, bits: int) -> int:
+        """Memoised fold of the current history (same maths as the table's).
+
+        Fold values are independent of ``pc``, so one epoch's values are
+        shared across every table probe until the history shifts.
+        """
+        key = (history_length << 4) | bits
+        cache = self._fold_cache
+        folded = cache.get(key)
+        if folded is None:
+            hist = self._history & ((1 << history_length) - 1)
+            mask = (1 << bits) - 1
+            folded = 0
+            while hist:
+                folded ^= hist & mask
+                hist >>= bits
+            cache[key] = folded
+        return folded
+
     def _provider(self, pc: int):
-        """Longest-history tagged table with a tag match, or None."""
+        """Longest-history tagged table with a tag match, or None.
+
+        Returns ``(table_index, table, entry_index)``.
+        """
+        fold = self._fold
         for table_index in range(len(self._tables) - 1, -1, -1):
             table = self._tables[table_index]
-            entry = table.entries[table.index(pc, self._history)]
-            if entry.tag == table.tag(pc, self._history):
-                return table_index, entry
+            length = table.history_length
+            index = (pc ^ (pc >> 4) ^ fold(length, 10)) & table.index_mask
+            tag = (pc ^ fold(length, 8) ^ (fold(length, 7) << 1)) & table.tag_mask
+            if table.tags[index] == tag:
+                return table_index, table, index
         return None
 
     def predict(self, pc: int) -> bool:
         self.predictions += 1
         provider = self._provider(pc)
+        self._cached_provider_pc = pc
+        self._cached_provider = provider
         if provider is not None:
-            return provider[1].counter >= 4
+            return provider[1].counters[provider[2]] >= 4
         return self._bimodal[pc & self._bimodal_mask] >= 2
 
     def update(self, pc: int, taken: bool, predicted: bool) -> None:
         if taken != predicted:
             self.mispredictions += 1
-        provider = self._provider(pc)
+        # Reuse the provider probed by the immediately preceding
+        # predict(pc): nothing between the two calls mutates table state,
+        # so the lookup is guaranteed to return the same entry.
+        if self._cached_provider_pc == pc:
+            provider = self._cached_provider
+        else:
+            provider = self._provider(pc)
+        self._cached_provider_pc = None
+        self._cached_provider = None
         if provider is not None:
-            table_index, entry = provider
-            entry.counter = min(7, entry.counter + 1) if taken else max(0, entry.counter - 1)
-            if (entry.counter >= 4) == taken:
-                entry.useful = min(3, entry.useful + 1)
+            table_index, table, index = provider
+            counters = table.counters
+            counter = min(7, counters[index] + 1) if taken else max(0, counters[index] - 1)
+            counters[index] = counter
+            useful = table.useful
+            if (counter >= 4) == taken:
+                useful[index] = min(3, useful[index] + 1)
             elif taken != predicted:
-                entry.useful = max(0, entry.useful - 1)
+                useful[index] = max(0, useful[index] - 1)
         else:
             table_index = -1
             slot = pc & self._bimodal_mask
@@ -113,6 +158,7 @@ class TageLitePredictor:
         if taken != predicted:
             self._allocate(pc, taken, table_index)
         self._history = ((self._history << 1) | (1 if taken else 0)) & ((1 << 128) - 1)
+        self._fold_cache.clear()
 
     def _allocate(self, pc: int, taken: bool, provider_index: int) -> None:
         """On a mispredict, claim an entry in a longer-history table."""
@@ -121,19 +167,24 @@ class TageLitePredictor:
         start = self._alloc_seed % max(1, len(self._tables) - provider_index - 1 or 1)
         ordered = list(candidates)
         ordered = ordered[start:] + ordered[:start]
+        fold = self._fold
         for table_index in ordered:
             table = self._tables[table_index]
-            entry = table.entries[table.index(pc, self._history)]
-            if entry.useful == 0:
-                entry.tag = table.tag(pc, self._history)
-                entry.counter = 4 if taken else 3
-                entry.useful = 0
+            length = table.history_length
+            index = (pc ^ (pc >> 4) ^ fold(length, 10)) & table.index_mask
+            if table.useful[index] == 0:
+                table.tags[index] = (
+                    pc ^ fold(length, 8) ^ (fold(length, 7) << 1)
+                ) & table.tag_mask
+                table.counters[index] = 4 if taken else 3
+                table.useful[index] = 0
                 return
         # Nothing free: age a random longer table's entry.
         for table_index in ordered:
             table = self._tables[table_index]
-            entry = table.entries[table.index(pc, self._history)]
-            entry.useful = max(0, entry.useful - 1)
+            length = table.history_length
+            index = (pc ^ (pc >> 4) ^ fold(length, 10)) & table.index_mask
+            table.useful[index] = max(0, table.useful[index] - 1)
 
     def misprediction_rate(self) -> float:
         if not self.predictions:

@@ -38,8 +38,8 @@ class Cache:
 
     def probe(self, line: int, cycle: int, update_lru: bool = True) -> bool:
         """True if the line is present and filled by ``cycle``."""
-        bucket = self._set_for(line)
-        fill_cycle = bucket.get(line)
+        bucket = self._sets.get(line % self.num_sets)
+        fill_cycle = bucket.get(line) if bucket is not None else None
         if fill_cycle is None or fill_cycle > cycle:
             self.misses += 1
             return False
@@ -58,10 +58,16 @@ class Cache:
 
         Returns the evicted line address, if any.
         """
-        bucket = self._set_for(line)
-        if line in bucket:
+        index = line % self.num_sets
+        bucket = self._sets.get(index)
+        if bucket is None:
+            bucket = OrderedDict()
+            self._sets[index] = bucket
+        old = bucket.get(line)
+        if old is not None:
             # Refill/upgrade: keep the earlier availability time.
-            bucket[line] = min(bucket[line], fill_cycle)
+            if fill_cycle < old:
+                bucket[line] = fill_cycle
             bucket.move_to_end(line)
             return None
         victim = None

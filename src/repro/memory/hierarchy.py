@@ -30,13 +30,27 @@ LEVEL_OFFCHIP = "Off-chip"
 LEVEL_UNUSED = "Unused"  # prefetched, never demanded within the window
 
 
-@dataclass
 class AccessResult:
     """Outcome of one hierarchy access."""
 
-    ready: int  # cycle at which the data is available to the requester
-    level: str  # where the request was satisfied
-    line: int
+    __slots__ = ("ready", "level", "line")
+
+    def __init__(self, ready: int, level: str, line: int) -> None:
+        self.ready = ready  # cycle at which the data is available
+        self.level = level  # where the request was satisfied
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AccessResult(ready={self.ready}, level={self.level!r}, line={self.line})"
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AccessResult):
+            return NotImplemented
+        return (self.ready, self.level, self.line) == (
+            other.ready,
+            other.level,
+            other.line,
+        )
 
 
 @dataclass
@@ -104,6 +118,56 @@ class MemoryHierarchy:
         # and must not count toward mem.mshr.merges.
         return self.mshrs.peek(line, cycle) is None
 
+    def demand_load(self, addr: int, cycle: int):
+        """Fused demand-load path: MSHR wait + timed access in one call.
+
+        Returns ``(mem_start, AccessResult)``. Exactly equivalent to the
+        ``load_needs_mshr`` / ``mshr_available`` / ``mshr_next_free`` /
+        ``access`` call sequence the reference kernel performs — the
+        timing cores' single hottest operation, so the L1-hit majority
+        case is inlined down to one bucket lookup.
+        """
+        if self.ideal:
+            # Oracle mode has its own demand semantics inside access();
+            # take the unfused sequence verbatim.
+            mem_start = cycle
+            if self.load_needs_mshr(addr, cycle) and not self.mshrs.available(cycle):
+                wait = self.mshrs.next_free(cycle)
+                if wait > mem_start:
+                    mem_start = wait
+            return mem_start, self.access(addr, mem_start)
+        line = int(addr) // self.line_bytes
+        l1 = self.l1
+        bucket = l1._sets.get(line % l1.num_sets)
+        fill_cycle = bucket.get(line) if bucket is not None else None
+        if fill_cycle is not None and fill_cycle <= cycle:
+            # L1 hit at issue: no MSHR involvement. Same state and stat
+            # mutations as Cache.probe(hit) + the demand-load fast path
+            # in access(), in the same order.
+            bucket.move_to_end(line)
+            l1.hits += 1
+            stats = self.stats
+            stats.demand_loads += 1
+            counts = stats.demand_level_counts
+            counts[LEVEL_L1] = counts.get(LEVEL_L1, 0) + 1
+            if self._prefetched_lines:
+                self._classify_demand(line, LEVEL_L1)
+            return cycle, AccessResult(cycle + l1.latency, LEVEL_L1, line)
+        mem_start = cycle
+        mshrs = self.mshrs
+        inflight = mshrs._inflight
+        ready = inflight.get(line)
+        if ready is None or ready <= cycle:
+            # Needs a fresh MSHR entry (not resident, not in flight):
+            # if the file is full the load waits in the LSQ for the
+            # earliest reclamation wakeup.
+            mshrs._purge(cycle)
+            if len(inflight) >= mshrs.num_entries:
+                wait = min(inflight.values())
+                if wait > mem_start:
+                    mem_start = wait
+        return mem_start, self.access(addr, mem_start)
+
     # -- fill paths ----------------------------------------------------------
 
     def _fill_l3(self, line: int, ready: int) -> None:
@@ -142,8 +206,9 @@ class MemoryHierarchy:
         """
         if fill_to == "l3":
             return self._access_llc_only(addr, cycle, source, prefetch)
-        line = self.line_of(addr)
+        line = int(addr) // self.line_bytes
         is_demand_load = source == SOURCE_MAIN and not prefetch and not write
+        stats = self.stats
 
         if self.ideal and is_demand_load:
             # Oracle mode: the data was prefetched "at the appropriate
@@ -167,21 +232,31 @@ class MemoryHierarchy:
             return AccessResult(ready, LEVEL_L1, line)
 
         if prefetch:
-            self.stats.bump(self.stats.prefetches_by_source, source)
+            table = stats.prefetches_by_source
+            table[source] = table.get(source, 0) + 1
 
         if self.l1.probe(line, cycle):
             level = LEVEL_L1
             ready = cycle + self.l1.latency
+            if is_demand_load:
+                # Demand-load L1 hit — the timing cores' hottest call;
+                # same bookkeeping as the shared tail below, inlined.
+                stats.demand_loads += 1
+                counts = stats.demand_level_counts
+                counts[LEVEL_L1] = counts.get(LEVEL_L1, 0) + 1
+                if self._prefetched_lines:
+                    self._classify_demand(line, LEVEL_L1)
+                return AccessResult(ready, LEVEL_L1, line)
             if prefetch:
                 # Legacy counter: L1-hit redundancy only. The per-level
                 # breakdown lives in prefetch_outcomes.
-                self.stats.prefetch_already_cached += 1
+                stats.prefetch_already_cached += 1
         else:
             merged_ready = self.mshrs.lookup(line, cycle)
             if merged_ready is not None:
                 level = LEVEL_MSHR
                 ready = merged_ready
-                self.stats.mshr_merge_hits += 1
+                stats.mshr_merge_hits += 1
             else:
                 if self.l2.probe(line, cycle):
                     level = LEVEL_L2
@@ -192,7 +267,8 @@ class MemoryHierarchy:
                 else:
                     level = LEVEL_DRAM
                     ready = self.dram.access(cycle)
-                    self.stats.bump(self.stats.dram_by_source, source)
+                    table = stats.dram_by_source
+                    table[source] = table.get(source, 0) + 1
                     self._fill_l3(line, ready)
                 if level in (LEVEL_L3, LEVEL_DRAM):
                     self._fill_l2(line, ready)
@@ -201,10 +277,13 @@ class MemoryHierarchy:
                     self.mshrs.allocate(line, cycle, ready)
 
         if prefetch:
-            self.stats.bump(self.stats.prefetch_outcomes, f"{source}.{level}")
+            key = f"{source}.{level}"
+            table = stats.prefetch_outcomes
+            table[key] = table.get(key, 0) + 1
         if is_demand_load:
-            self.stats.demand_loads += 1
-            self.stats.bump(self.stats.demand_level_counts, level)
+            stats.demand_loads += 1
+            counts = stats.demand_level_counts
+            counts[level] = counts.get(level, 0) + 1
             self._classify_demand(line, level)
         if prefetch and source in (SOURCE_RUNAHEAD, SOURCE_PREFETCHER):
             self._track_prefetched(line, source)

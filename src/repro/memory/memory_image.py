@@ -22,12 +22,15 @@ _SEGMENT_ALIGN = 64  # keep segments line-aligned and non-adjacent
 class Segment:
     """One named allocation backed by a numpy array."""
 
-    __slots__ = ("name", "base", "data")
+    __slots__ = ("name", "base", "data", "is_float")
 
     def __init__(self, name: str, base: int, data: np.ndarray) -> None:
         self.name = name
         self.base = base
         self.data = data
+        # Cached: the dtype never changes, and the per-read numpy dtype
+        # attribute chase is measurable on the interpreter hot path.
+        self.is_float = data.dtype.kind == "f"
 
     @property
     def size_bytes(self) -> int:
@@ -49,6 +52,9 @@ class MemoryImage:
         self._segments: List[Segment] = []
         self._bases: List[int] = []
         self._by_name: Dict[str, Segment] = {}
+        # Last segment a lookup landed in: accesses cluster heavily per
+        # segment, so this skips the bisect on the common repeat hit.
+        self._last_seg: Optional[Segment] = None
 
     # -- allocation ---------------------------------------------------------
 
@@ -102,6 +108,13 @@ class MemoryImage:
     # -- access --------------------------------------------------------------
 
     def _locate(self, addr: int) -> Optional[Tuple[Segment, int]]:
+        seg = self._last_seg
+        if seg is not None:
+            offset = addr - seg.base
+            if 0 <= offset < seg.size_bytes:
+                if offset % WORD_BYTES != 0:
+                    return None
+                return seg, offset // WORD_BYTES
         index = bisect.bisect_right(self._bases, addr) - 1
         if index < 0:
             return None
@@ -111,6 +124,7 @@ class MemoryImage:
             return None
         if offset % WORD_BYTES != 0:
             return None
+        self._last_seg = seg
         return seg, offset // WORD_BYTES
 
     def read_word(self, addr: int):
@@ -120,7 +134,7 @@ class MemoryImage:
             raise MemoryError_(f"read from unmapped address 0x{addr:x}")
         seg, index = located
         value = seg.data[index]
-        return float(value) if seg.data.dtype.kind == "f" else int(value)
+        return float(value) if seg.is_float else int(value)
 
     def write_word(self, addr: int, value) -> None:
         """Architectural write; raises on an unmapped address.
@@ -157,7 +171,7 @@ class MemoryImage:
             return 0, False
         seg, index = located
         value = seg.data[index]
-        return (float(value) if seg.data.dtype.kind == "f" else int(value)), True
+        return (float(value) if seg.is_float else int(value)), True
 
     def is_mapped(self, addr: int) -> bool:
         if not isinstance(addr, (int, np.integer)) or addr < 0:

@@ -7,6 +7,7 @@ this is the resource Vector Runahead and DVR try to keep saturated
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Dict, List, Optional
 
 
@@ -15,6 +16,11 @@ class MSHRFile:
 
     Entries are keyed by line address. Occupancy over time is integrated
     so the harness can report mean occupied MSHRs per cycle (Figure 9).
+
+    Reclamation is event-driven: each allocation schedules its ready
+    cycle on a min-heap, and a purge pops only the entries whose wakeup
+    time has passed — O(freed log n) instead of a full scan of the file
+    on every scheduling query.
     """
 
     def __init__(self, num_entries: int) -> None:
@@ -22,6 +28,10 @@ class MSHRFile:
             raise ValueError("MSHR file needs at least one entry")
         self.num_entries = num_entries
         self._inflight: Dict[int, int] = {}  # line -> ready cycle
+        # Reclamation wakeups: (ready, line). Stale entries (the line
+        # was purged, or re-allocated with a different ready cycle) are
+        # dropped lazily against the dict when popped.
+        self._ready_heap: List = []
         self.occupancy_integral = 0  # sum over entries of busy cycles
         self.total_allocations = 0
         self.merged_requests = 0
@@ -32,11 +42,14 @@ class MSHRFile:
         self._interval_ends: List[int] = []
 
     def _purge(self, cycle: int) -> None:
-        if not self._inflight:
+        heap = self._ready_heap
+        if not heap or heap[0][0] > cycle:
             return
-        done = [line for line, ready in self._inflight.items() if ready <= cycle]
-        for line in done:
-            del self._inflight[line]
+        inflight = self._inflight
+        while heap and heap[0][0] <= cycle:
+            ready, line = heappop(heap)
+            if inflight.get(line) == ready:
+                del inflight[line]
 
     def peek(self, line: int, cycle: int) -> Optional[int]:
         """Ready cycle if this line is in flight, else None. Stats-neutral.
@@ -75,6 +88,7 @@ class MSHRFile:
             self.rejected_requests += 1
             return False
         self._inflight[line] = ready
+        heappush(self._ready_heap, (ready, line))
         self.total_allocations += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._inflight))
         self.occupancy_integral += max(0, ready - cycle)

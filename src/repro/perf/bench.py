@@ -27,8 +27,19 @@ Kernels:
     :class:`~repro.perf.trace.ReplaySource` consumption — the cost of
     a cached-stream timing run's front-end.
 ``ooo_loop``
-    The full OoO timing core (:meth:`OoOCore.run`) on the plain
-    baseline — functional step + dataflow model + memory hierarchy.
+    The full OoO timing core on the plain baseline — functional step +
+    dataflow model + memory hierarchy — via the tick-driven
+    :meth:`OoOCore.run_reference` loop (the executable spec, and the
+    kernel the historical ``BENCH_core.json`` baselines measured).
+``ooo_event_loop``
+    Its successor: the event-driven flat-array kernel behind
+    :meth:`OoOCore.run`, differentially tested to be bit-identical to
+    ``ooo_loop``'s loop (``tests/test_ooo_event_kernel.py``).
+``cycle_loop`` / ``cycle_event_loop``
+    The literal cycle-by-cycle core (:class:`CycleCore`), tick-driven
+    reference vs. the event-driven kernel that skips idle spans. The
+    ratio between these two is the headline idle-skipping win — the
+    cycle core is where stall cycles actually get ticked.
 ``hierarchy``
     The timed memory hierarchy access path alone.
 ``vector_engine``
@@ -132,18 +143,55 @@ def _trace_replay(n: int) -> Tuple[int, float]:
     return work, time.perf_counter() - t0
 
 
-def _ooo_loop(n: int) -> Tuple[int, float]:
+def _make_ooo_core(n: int):
     from ..core.ooo import OoOCore
     from ..techniques import make_technique
 
     wl = build_workload(_BENCH_WORKLOAD)
-    core = OoOCore(
+    return OoOCore(
         wl.program,
         wl.memory,
         SimConfig().with_max_instructions(n),
         technique=make_technique("ooo"),
         workload_name="bench",
     )
+
+
+def _ooo_loop(n: int) -> Tuple[int, float]:
+    core = _make_ooo_core(n)
+    t0 = time.perf_counter()
+    result = core.run_reference()
+    return result.instructions, time.perf_counter() - t0
+
+
+def _ooo_event_loop(n: int) -> Tuple[int, float]:
+    core = _make_ooo_core(n)
+    t0 = time.perf_counter()
+    result = core.run()
+    return result.instructions, time.perf_counter() - t0
+
+
+def _make_cycle_core(n: int):
+    from ..core.cycle import CycleCore
+
+    wl = build_workload(_BENCH_WORKLOAD)
+    return CycleCore(
+        wl.program,
+        wl.memory,
+        SimConfig().with_max_instructions(n),
+        workload_name="bench",
+    )
+
+
+def _cycle_loop(n: int) -> Tuple[int, float]:
+    core = _make_cycle_core(n)
+    t0 = time.perf_counter()
+    result = core.run_reference()
+    return result.instructions, time.perf_counter() - t0
+
+
+def _cycle_event_loop(n: int) -> Tuple[int, float]:
+    core = _make_cycle_core(n)
     t0 = time.perf_counter()
     result = core.run()
     return result.instructions, time.perf_counter() - t0
@@ -215,6 +263,9 @@ KERNELS: Dict[str, Tuple[Callable[[int], Tuple[int, float]], int, str]] = {
     "functional_pooled": (_functional_pooled, 40_000, "instr"),
     "trace_replay": (_trace_replay, 40_000, "instr"),
     "ooo_loop": (_ooo_loop, 15_000, "instr"),
+    "ooo_event_loop": (_ooo_event_loop, 15_000, "instr"),
+    "cycle_loop": (_cycle_loop, 8_000, "instr"),
+    "cycle_event_loop": (_cycle_event_loop, 8_000, "instr"),
     "hierarchy": (_hierarchy, 40_000, "access"),
     "vector_engine": (_vector_engine, 8_000, "prefetch"),
 }

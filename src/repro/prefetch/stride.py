@@ -59,9 +59,26 @@ class StridePrefetcher:
     def on_demand_load(
         self, pc: int, addr: int, cycle: int, hierarchy: "MemoryHierarchy"
     ) -> None:
-        if not self.observe(pc, addr):
+        # observe() inlined: this runs once per demand load on the timing
+        # cores' hot path, and the confident-stream case needs the entry
+        # again immediately.
+        table = self._table
+        entry = table.get(pc)
+        if entry is None:
+            if len(table) >= self.streams:
+                table.popitem(last=False)
+            table[pc] = _StreamEntry(addr)
             return
-        stride = self._table[pc].stride
+        table.move_to_end(pc)
+        stride = addr - entry.last_addr
+        if stride != 0 and stride == entry.stride:
+            entry.confidence = min(3, entry.confidence + 1)
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_addr = addr
+        if stride == 0 or entry.confidence < self.confidence_threshold:
+            return
         for k in range(1, self.degree + 1):
             target = addr + stride * k
             if target < 0:

@@ -42,6 +42,9 @@ EXPECTED_CHECKS = [
     "mshr.reclamation",
     "cache.inclusion",
     "core.conservation",
+    "sched.conservation",
+    "sched.retire-order",
+    "sched.skip-accounting",
     "functional.equivalence",
 ]
 

@@ -1,0 +1,159 @@
+"""Property tests (hypothesis) for the event scheduler.
+
+Pins the four laws the event kernels lean on:
+
+* randomized insertion/cancellation never loses a wakeup — every
+  scheduled event is fired, cancelled, or still pending (conservation);
+* time never moves backwards — scheduling into the past or draining
+  out of order raises instead of warping;
+* skipping an idle span is observationally equivalent to ticking
+  through it cycle by cycle;
+* an empty queue with an unretired ROB head is detected as a deadlock
+  (raises), not an infinite hang.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cycle import find_next_wakeup
+from repro.core.sched import WakeupQueue
+from repro.errors import SimulationError
+
+# op encoding for random programs: (kind, value)
+#   kind 0: schedule at now + value
+#   kind 1: cancel the value-th oldest live token (no-op when none)
+#   kind 2: drain up to now + value
+_OPS = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 50)),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(_OPS)
+def test_random_programs_conserve_and_never_lose_wakeups(ops):
+    queue = WakeupQueue()
+    live = []  # tokens we believe are pending
+    outcomes = {}  # token -> "fired" | "cancelled"
+    times = {}
+    for kind, value in ops:
+        if kind == 0:
+            time = queue.now + value
+            token = queue.schedule(time)
+            live.append(token)
+            times[token] = time
+        elif kind == 1 and live:
+            token = live.pop(value % len(live))
+            assert queue.cancel(token) is True
+            outcomes[token] = "cancelled"
+            # a second cancel is a no-op, not a double count
+            assert queue.cancel(token) is False
+        elif kind == 2:
+            now = queue.now + value
+            fired = queue.pop_due(now)
+            for time, token, _payload in fired:
+                assert time <= now
+                assert times[token] == time
+                live.remove(token)
+                outcomes[token] = "fired"
+            # nothing due was left behind
+            nxt = queue.next_time()
+            assert nxt is None or nxt > now
+        # conservation holds after every single operation
+        assert queue.scheduled == queue.fired + queue.cancelled + queue.pending
+        assert queue.pending == len(live)
+    # end-of-program: every token is accounted for exactly once
+    assert queue.scheduled == len(outcomes) + len(live)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(0, 100), st.integers(1, 100))
+def test_time_never_moves_backwards(start, back):
+    queue = WakeupQueue()
+    queue.pop_due(start)
+    assert queue.now == start
+    with pytest.raises(SimulationError):
+        queue.schedule(start - back)
+    with pytest.raises(SimulationError):
+        queue.pop_due(start - back)
+    with pytest.raises(SimulationError):
+        queue.skip_to(start - back)
+    # the failed operations must not corrupt the books
+    assert queue.scheduled == queue.fired + queue.cancelled + queue.pending
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.integers(1, 200), min_size=1, max_size=20),
+    st.integers(0, 220),
+)
+def test_skipping_equals_ticking(times, horizon):
+    """pop_due(horizon) == the fold of pop_due over every cycle in between."""
+    ticked = WakeupQueue()
+    skipped = WakeupQueue()
+    for time in times:
+        ticked.schedule(time)
+        skipped.schedule(time)
+    fired_ticking = []
+    for now in range(horizon + 1):
+        fired_ticking.extend(t for t, _tok, _p in ticked.pop_due(now))
+    fired_skipping = [t for t, _tok, _p in skipped.pop_due(horizon)]
+    assert fired_ticking == sorted(t for t in times if t <= horizon)
+    assert sorted(fired_skipping) == fired_ticking
+    assert ticked.now == skipped.now == horizon
+    assert ticked.pending == skipped.pending
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(1, 200), min_size=0, max_size=10), st.integers(0, 200))
+def test_skip_to_refuses_to_swallow_wakeups(times, target):
+    queue = WakeupQueue()
+    for time in times:
+        queue.schedule(time)
+    pending_min = min(times) if times else None
+    if pending_min is not None and pending_min <= target:
+        with pytest.raises(SimulationError):
+            queue.skip_to(target)
+    else:
+        assert queue.skip_to(target) == target
+        assert queue.now == target
+    assert queue.pending == len(times)  # skipping fires nothing
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.integers(1, 500), min_size=1, max_size=16))
+def test_find_next_wakeup_returns_min_and_conserves(candidates):
+    queue = WakeupQueue()
+    wake = find_next_wakeup(candidates, rob_occupied=True, queue=queue)
+    assert wake == min(candidates)
+    # every candidate was scheduled, the due ones fired, the rest
+    # cancelled — nothing left pending to leak across spans
+    assert queue.scheduled == len(candidates)
+    assert queue.fired == candidates.count(wake)
+    assert queue.cancelled == len(candidates) - queue.fired
+    assert queue.pending == 0
+
+
+def test_empty_queue_with_unretired_rob_head_is_deadlock():
+    with pytest.raises(SimulationError, match="deadlock"):
+        find_next_wakeup([], rob_occupied=True, queue=WakeupQueue())
+
+
+def test_empty_queue_with_empty_rob_still_raises():
+    # quiescence without program completion is a kernel bug either way;
+    # it must surface as an error, never as an infinite idle loop
+    with pytest.raises(SimulationError, match="no pending wakeup"):
+        find_next_wakeup([], rob_occupied=False, queue=WakeupQueue())
+
+
+def test_deadlock_detection_on_a_fabricated_stall():
+    """A ROB head whose wakeup was cancelled deadlocks loudly."""
+    queue = WakeupQueue()
+    token = queue.schedule(40)
+    queue.cancel(token)
+    with pytest.raises(SimulationError, match="deadlock"):
+        find_next_wakeup([], rob_occupied=True, queue=queue)
