@@ -28,6 +28,7 @@ _MEASURED = (
     "cycle_event_loop",
     "hierarchy",
     "vector_engine",
+    "vector_engine_reference",
 )
 
 #: ``ooo_loop`` entry of the v0-era committed BENCH_core.json — the
@@ -77,4 +78,12 @@ def test_bench_payload(benchmark):
     assert event_rel >= OLD_OOO_LOOP_REL * 0.7, (
         f"ooo_event_loop rel {event_rel:.3f} fell below the "
         f"v0 ooo_loop floor {OLD_OOO_LOOP_REL * 0.7:.3f}"
+    )
+    # Slice-engine gate: the slice-based vector engine must beat the
+    # kept reference executor (measured ~2.2x; floored with headroom).
+    vec_ratio = (
+        kernels["vector_engine"]["ips"] / kernels["vector_engine_reference"]["ips"]
+    )
+    assert vec_ratio >= 1.5, (
+        f"slice vector engine only {vec_ratio:.2f}x its reference executor"
     )

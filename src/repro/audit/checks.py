@@ -381,6 +381,79 @@ def check_sched_skip_accounting(ctx: AuditContext) -> List[str]:
     return violations
 
 
+# -- vector-engine lane/copy conservation ------------------------------------
+#
+# The ``vr.engine.*`` family is published only by techniques that ran
+# the vector chain engine (VR and the DVR variants); other runs carry
+# no such counters, so each check keys off counter presence and passes
+# vacuously otherwise.
+
+
+@register_check("vector.lane-conservation")
+def check_vector_lane_conservation(ctx: AuditContext) -> List[str]:
+    """Every dispatched vector lane either completes or is invalidated.
+
+    Lanes leave a chain exactly once — by finishing it, or via first-lane
+    divergence / bad-address invalidation. A lane invalidated twice (it
+    can fault in several gathers along the chain) must still count once.
+    """
+    counters = ctx.result.counters
+    total = counters.get("vr.engine.lanes.total")
+    if total is None:
+        return []
+    completed = counters.get("vr.engine.lanes.completed", 0)
+    invalidated = counters.get("vr.engine.lanes.invalidated", 0)
+    if total != completed + invalidated:
+        return [
+            f"vector lanes leak: total {total} != "
+            f"completed {completed} + invalidated {invalidated}"
+        ]
+    return []
+
+
+@register_check("vector.copy-conservation")
+def check_vector_copy_conservation(ctx: AuditContext) -> List[str]:
+    """Issued copies and vector instructions balance their breakdowns.
+
+    Every issued copy is a scalar copy or a vector slice; every scalar
+    copy came from a scalar-issued instruction; every processed
+    instruction issued as scalar, vector, or not at all; and a
+    vector-issued instruction occupies at least one slice.
+    """
+    counters = ctx.result.counters
+    copies = counters.get("vr.engine.copies")
+    if copies is None:
+        return []
+    get = counters.get
+    scalar_copies = get("vr.engine.copies.scalar", 0)
+    slices = get("vr.engine.slices", 0)
+    instructions = get("vr.engine.instructions", 0)
+    instr_scalar = get("vr.engine.instructions.scalar", 0)
+    instr_vector = get("vr.engine.instructions.vector", 0)
+    instr_no_issue = get("vr.engine.instructions.no_issue", 0)
+    violations: List[str] = []
+    if copies != scalar_copies + slices:
+        violations.append(
+            f"copies {copies} != scalar copies {scalar_copies} + slices {slices}"
+        )
+    if scalar_copies != instr_scalar:
+        violations.append(
+            f"scalar copies {scalar_copies} != "
+            f"scalar-issued instructions {instr_scalar}"
+        )
+    if instructions != instr_scalar + instr_vector + instr_no_issue:
+        violations.append(
+            f"instructions {instructions} != scalar {instr_scalar} + "
+            f"vector {instr_vector} + no-issue {instr_no_issue}"
+        )
+    if slices < instr_vector:
+        violations.append(
+            f"{instr_vector} vector-issued instructions cannot fit in "
+            f"{slices} slices"
+        )
+    return violations
+
+
 # -- timing vs functional equivalence ---------------------------------------
 
 

@@ -30,6 +30,7 @@ from .experiments import (
     figure10,
     figure11,
     figure12,
+    figure_lanes,
     run_batch,
     run_simulation,
     run_sweep,
@@ -47,6 +48,7 @@ _FIGURES = {
     "figure10": figure10,
     "figure11": figure11,
     "figure12": figure12,
+    "lanes": figure_lanes,
 }
 _TABLES = {
     "table1": lambda **kw: table1_rows(),

@@ -160,6 +160,14 @@ class RunaheadConfig:
     nested_threshold: int = 64  # enter NDM below this many iterations
     instruction_timeout: int = 200
     subthread_issue_width: int = 2  # vector copies issued per cycle
+    # Slice engine selection: "slice" is the chained per-slice engine,
+    # "reference" the kept flat-gather executable spec (see
+    # docs/architecture.md, "The vector engine").
+    vector_engine: str = "slice"
+    # Chaining: a dependent vector op's slice may issue as soon as its
+    # own source slice is ready, subject to ``subthread_issue_width``
+    # slices per cycle. Off = the legacy serialized global-clock timing.
+    vector_chaining: bool = True
     discovery_enabled: bool = True
     nested_enabled: bool = True
     reconvergence_enabled: bool = True
@@ -169,6 +177,22 @@ class RunaheadConfig:
     # Classic/precise runahead.
     runahead_flush_penalty: int = 15
     pre_min_interval: int = 8
+
+    def __post_init__(self) -> None:
+        if self.vector_engine not in ("slice", "reference"):
+            raise ConfigError(
+                f"runahead.vector_engine must be 'slice' or 'reference', "
+                f"got {self.vector_engine!r}"
+            )
+        if self.subthread_issue_width < 1:
+            raise ConfigError(
+                f"runahead.subthread_issue_width must be >= 1, "
+                f"got {self.subthread_issue_width}"
+            )
+        if self.vector_width < 1:
+            raise ConfigError(
+                f"runahead.vector_width must be >= 1, got {self.vector_width}"
+            )
 
 
 @dataclass(frozen=True)

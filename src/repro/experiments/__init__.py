@@ -25,6 +25,7 @@ from .figures import (
     figure10,
     figure11,
     figure12,
+    figure_lanes,
     figure_specs,
 )
 from .report import ExperimentResult, format_table, harmonic_mean
@@ -63,6 +64,7 @@ __all__ = [
     "figure10",
     "figure11",
     "figure12",
+    "figure_lanes",
     "figure_specs",
     "format_table",
     "harmonic_mean",

@@ -17,6 +17,7 @@ the generator assembles rows serially from cache hits.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from ..config import CoreConfig, SimConfig
@@ -42,6 +43,19 @@ BASELINE_ROB = 350
 # Default workload subset for the sweep figures (one per behaviour
 # class) so a figure regenerates in minutes; pass workloads=... for all.
 SWEEP_WORKLOADS = ["bfs", "sssp", "camel", "nas_cg"]
+
+# The lanes x vector-width sweep points for the slice-engine figure:
+# lane count sets how far ahead a chain fetches, vector width sets the
+# slice granularity (lanes/width = slices per vectorised instruction).
+LANE_POINTS = [32, 64, 128]
+WIDTH_POINTS = [4, 8, 16]
+
+
+def _lanes_config(lanes: int, width: int) -> SimConfig:
+    cfg = SimConfig()
+    return cfg.with_runahead(
+        replace(cfg.runahead, dvr_lanes=lanes, vr_lanes=lanes, vector_width=width)
+    )
 
 
 def _default(workloads: Optional[Sequence[str]], fallback: Sequence[str]) -> List[str]:
@@ -140,6 +154,21 @@ def figure_specs(
             specs.append(
                 RunSpec(wl, technique="dvr", max_instructions=instructions)
             )
+    elif name == "lanes":
+        for wl in _default(workloads, SWEEP_WORKLOADS):
+            specs.append(
+                RunSpec(wl, technique="ooo", max_instructions=instructions)
+            )
+            for lanes in LANE_POINTS:
+                for width in WIDTH_POINTS:
+                    specs.append(
+                        RunSpec(
+                            wl,
+                            technique="dvr",
+                            config=_lanes_config(lanes, width),
+                            max_instructions=instructions,
+                        )
+                    )
     else:
         raise ReproError(f"no spec enumeration for figure {name!r}")
     return specs
@@ -373,6 +402,54 @@ def figure11(
             "500M-instruction windows).",
             "Paper shape: most lines are L1 hits; 10-20% arrive late.",
         ],
+    )
+
+
+def figure_lanes(
+    workloads: Optional[Sequence[str]] = None,
+    instructions: int = 15_000,
+) -> ExperimentResult:
+    """DVR speedup and slice pressure across the lanes x width grid.
+
+    The slice engine's throughput axis: lane count fixes the runahead
+    depth per chain, vector width the number of lanes per issued slice,
+    so each grid point trades chain coverage against slice bandwidth.
+    The ``vr.engine.*`` counters expose the machine-level effects
+    (slices issued, chain stalls) next to the end-to-end speedup.
+    """
+    workloads = _default(workloads, SWEEP_WORKLOADS)
+    rows: List[List] = []
+    series: Dict[str, Dict] = {}
+    for name in workloads:
+        baseline = run_simulation(name, "ooo", max_instructions=instructions)
+        series[name] = {}
+        for lanes in LANE_POINTS:
+            for width in WIDTH_POINTS:
+                result = run_simulation(
+                    name,
+                    "dvr",
+                    _lanes_config(lanes, width),
+                    max_instructions=instructions,
+                )
+                speedup = result.ipc / baseline.ipc if baseline.ipc else 0.0
+                slices = result.counters.get("vr.engine.slices", 0)
+                stalls = result.counters.get("vr.engine.chain_stalls", 0)
+                series[name][f"{lanes}x{width}"] = speedup
+                rows.append(
+                    [name, lanes, width, speedup, slices, stalls]
+                )
+    return ExperimentResult(
+        "lanes",
+        "DVR speedup vs lane count and vector width (slice engine sweep)",
+        ["workload", "lanes", "width", "dvr_norm", "slices", "chain_stalls"],
+        rows,
+        notes=[
+            "Wider slices cut slices-per-instruction (less issue pressure) "
+            "but stall whole slices on their slowest lane; more lanes "
+            "deepen the prefetch horizon at the cost of over-fetch past "
+            "short loops."
+        ],
+        series=series,
     )
 
 

@@ -72,3 +72,34 @@ def alu_evaluate(opcode: Opcode, a, b, imm: int):
     if opcode is Opcode.NOP:
         return None
     raise ValueError(f"alu_evaluate cannot handle {opcode}")
+
+
+# Per-opcode handlers with the signature (a, b, imm). Each entry computes
+# the exact expression of the corresponding ``alu_evaluate`` branch (and
+# raises the same exceptions on bad operands), letting hot loops hoist
+# the opcode dispatch out of their per-lane body. Keyed membership must
+# stay in sync with ``alu_evaluate``; ``tests/test_isa.py`` checks both
+# agree over the full opcode space.
+ALU_HANDLERS = {
+    Opcode.LI: lambda a, b, imm: imm,
+    Opcode.MOV: lambda a, b, imm: a,
+    Opcode.ADD: lambda a, b, imm: a + b,
+    Opcode.ADDI: lambda a, b, imm: a + imm,
+    Opcode.SUB: lambda a, b, imm: a - b,
+    Opcode.MUL: lambda a, b, imm: a * b,
+    Opcode.DIV: lambda a, b, imm: a // b if b else 0,
+    Opcode.AND: lambda a, b, imm: a & b,
+    Opcode.ANDI: lambda a, b, imm: a & imm,
+    Opcode.OR: lambda a, b, imm: a | b,
+    Opcode.XOR: lambda a, b, imm: a ^ b,
+    Opcode.SHLI: lambda a, b, imm: a << imm,
+    Opcode.SHRI: lambda a, b, imm: a >> imm,
+    Opcode.HASH: lambda a, b, imm: hash64(a),
+    Opcode.CMP_LT: lambda a, b, imm: 1 if a < b else 0,
+    Opcode.CMP_EQ: lambda a, b, imm: 1 if a == b else 0,
+    Opcode.CMP_LTI: lambda a, b, imm: 1 if a < imm else 0,
+    Opcode.FADD: lambda a, b, imm: float(a) + float(b),
+    Opcode.FMUL: lambda a, b, imm: float(a) * float(b),
+    Opcode.FDIV: lambda a, b, imm: float(a) / float(b) if b else 0.0,
+    Opcode.NOP: lambda a, b, imm: None,
+}

@@ -97,6 +97,8 @@ class MemoryHierarchy:
         self.stats = HierarchyStats()
         # line -> source for pending prefetched lines (Figure 11).
         self._prefetched_lines: Dict[int, str] = {}
+        # source -> (L1 key, MSHR key) for prefetch_outcomes.
+        self._prefetch_key_cache: Dict[str, tuple] = {}
 
     # -- helpers -------------------------------------------------------------
 
@@ -167,6 +169,80 @@ class MemoryHierarchy:
                 if wait > mem_start:
                     mem_start = wait
         return mem_start, self.access(addr, mem_start)
+
+    def _prefetch_keys(self, source: str):
+        """Cached ``prefetch_outcomes`` keys for one source."""
+        keys = self._prefetch_key_cache.get(source)
+        if keys is None:
+            keys = (f"{source}.{LEVEL_L1}", f"{source}.{LEVEL_MSHR}")
+            self._prefetch_key_cache[source] = keys
+        return keys
+
+    def prefetch_ready(self, addr: int, cycle: int, source: str = SOURCE_RUNAHEAD) -> int:
+        """Fused prefetch path: MSHR wait + timed access; returns ready.
+
+        Exactly equivalent to the ``load_needs_mshr`` /
+        ``mshr_available`` / ``mshr_next_free`` /
+        ``access(prefetch=True)`` call sequence the vector engine's
+        gathers perform per lane (``tests/test_vector_slice_engine.py``
+        pins the equivalence) — the slice engine's hottest operation,
+        so the L1-hit and MSHR-merge majority cases are inlined and
+        only a fresh miss walks the full access path.
+        """
+        line = int(addr) // self.line_bytes
+        l1 = self.l1
+        bucket = l1._sets.get(line % l1.num_sets)
+        fill_cycle = bucket.get(line) if bucket is not None else None
+        stats = self.stats
+        if fill_cycle is not None and fill_cycle <= cycle:
+            # L1 hit at issue: no MSHR involvement. Same state and stat
+            # mutations as Cache.probe(hit) + the prefetch bookkeeping
+            # in access().
+            bucket.move_to_end(line)
+            l1.hits += 1
+            table = stats.prefetches_by_source
+            table[source] = table.get(source, 0) + 1
+            stats.prefetch_already_cached += 1
+            key = self._prefetch_keys(source)[0]
+            table = stats.prefetch_outcomes
+            table[key] = table.get(key, 0) + 1
+            if source in (SOURCE_RUNAHEAD, SOURCE_PREFETCHER):
+                tracked = self._prefetched_lines
+                if line not in tracked:
+                    tracked[line] = source
+                    stats.prefetch_tracked += 1
+            return cycle + l1.latency
+        mshrs = self.mshrs
+        inflight = mshrs._inflight
+        ready = inflight.get(line)
+        if ready is not None and ready > cycle:
+            # Already in flight: an MSHR merge. Same mutations as
+            # Cache.probe(miss) + MSHRFile.lookup + the merge path in
+            # access().
+            l1.misses += 1
+            mshrs.merged_requests += 1
+            stats.mshr_merge_hits += 1
+            table = stats.prefetches_by_source
+            table[source] = table.get(source, 0) + 1
+            key = self._prefetch_keys(source)[1]
+            table = stats.prefetch_outcomes
+            table[key] = table.get(key, 0) + 1
+            if source in (SOURCE_RUNAHEAD, SOURCE_PREFETCHER):
+                tracked = self._prefetched_lines
+                if line not in tracked:
+                    tracked[line] = source
+                    stats.prefetch_tracked += 1
+            return ready
+        # Fresh miss: needs an MSHR entry — if the file is full the
+        # gather copy waits for the earliest reclamation, then takes
+        # the full access path.
+        mem_start = cycle
+        mshrs._purge(cycle)
+        if len(inflight) >= mshrs.num_entries:
+            wait = min(inflight.values())
+            if wait > mem_start:
+                mem_start = wait
+        return self.access(addr, mem_start, source=source, prefetch=True).ready
 
     # -- fill paths ----------------------------------------------------------
 

@@ -22,7 +22,7 @@ _SEGMENT_ALIGN = 64  # keep segments line-aligned and non-adjacent
 class Segment:
     """One named allocation backed by a numpy array."""
 
-    __slots__ = ("name", "base", "data", "is_float")
+    __slots__ = ("name", "base", "data", "is_float", "size_bytes", "_words")
 
     def __init__(self, name: str, base: int, data: np.ndarray) -> None:
         self.name = name
@@ -31,10 +31,18 @@ class Segment:
         # Cached: the dtype never changes, and the per-read numpy dtype
         # attribute chase is measurable on the interpreter hot path.
         self.is_float = data.dtype.kind == "f"
+        self.size_bytes = len(data) * WORD_BYTES
+        # Lazy Python-list view of ``data``; numpy scalar extraction plus
+        # the int()/float() coercion dominates speculative reads, while a
+        # list holds native values directly. ``write_word`` (the only
+        # mutation path) drops the cache.
+        self._words: Optional[list] = None
 
-    @property
-    def size_bytes(self) -> int:
-        return len(self.data) * WORD_BYTES
+    def words(self) -> list:
+        w = self._words
+        if w is None:
+            w = self._words = self.data.tolist()
+        return w
 
     @property
     def end(self) -> int:
@@ -150,6 +158,7 @@ class MemoryImage:
         if seg.data.dtype.kind == "i" and isinstance(value, int):
             value = ((value + 2**63) % 2**64) - 2**63
         seg.data[index] = value
+        seg._words = None
 
     def digest(self) -> str:
         """BLAKE2b digest over segment names, bases, and contents."""
@@ -164,14 +173,29 @@ class MemoryImage:
 
     def read_word_speculative(self, addr: int) -> Tuple[Union[int, float], bool]:
         """Speculative read: unmapped/misaligned addresses return (0, False)."""
-        if not isinstance(addr, (int, np.integer)) or addr < 0:
+        if type(addr) is not int:
+            if not isinstance(addr, (int, np.integer)):
+                return 0, False
+            addr = int(addr)
+        if addr < 0:
             return 0, False
-        located = self._locate(int(addr) & ~(WORD_BYTES - 1))
+        addr &= ~(WORD_BYTES - 1)
+        # Inlined _locate repeat-hit fast path over the cached word list.
+        seg = self._last_seg
+        if seg is not None:
+            offset = addr - seg.base
+            if 0 <= offset < seg.size_bytes:
+                if offset % WORD_BYTES != 0:
+                    return 0, False
+                words = seg._words
+                if words is None:
+                    words = seg._words = seg.data.tolist()
+                return words[offset // WORD_BYTES], True
+        located = self._locate(addr)
         if located is None:
             return 0, False
         seg, index = located
-        value = seg.data[index]
-        return (float(value) if seg.is_float else int(value)), True
+        return seg.words()[index], True
 
     def is_mapped(self, addr: int) -> bool:
         if not isinstance(addr, (int, np.integer)) or addr < 0:

@@ -42,9 +42,11 @@ Kernels:
     cycle core is where stall cycles actually get ticked.
 ``hierarchy``
     The timed memory hierarchy access path alone.
-``vector_engine``
+``vector_engine`` / ``vector_engine_reference``
     Vector Runahead's timed vector-chain executor (VIR/gather model)
-    over a two-level stride-indirect chain.
+    over a two-level stride-indirect chain: the slice-based chaining
+    engine vs. the kept flat-gather reference executor
+    (differentially tested in ``tests/test_vector_slice_engine.py``).
 
 Results serialise as a ``repro.bench-core/1`` document (committed at
 the repo root as ``BENCH_core.json``); ``docs/performance.md``
@@ -209,7 +211,7 @@ def _hierarchy(n: int) -> Tuple[int, float]:
     return n, time.perf_counter() - t0
 
 
-def _vector_engine(n: int) -> Tuple[int, float]:
+def _vector_engine_kernel(n: int, engine: str) -> Tuple[int, float]:
     from ..runahead.vector_engine import VectorChainRun
 
     rng = np.random.default_rng(1)
@@ -248,11 +250,20 @@ def _vector_engine(n: int) -> Tuple[int, float]:
             stop_pcs=(0,),
             vector_width=8,
             timeout=200,
+            engine=engine,
         )
         run.run_to_completion()
         work += max(1, run.prefetches)
         cycle = run.finish_time + 1
     return work, time.perf_counter() - t0
+
+
+def _vector_engine(n: int) -> Tuple[int, float]:
+    return _vector_engine_kernel(n, "slice")
+
+
+def _vector_engine_reference(n: int) -> Tuple[int, float]:
+    return _vector_engine_kernel(n, "reference")
 
 
 #: name -> (kernel, default work units, unit label)
@@ -268,6 +279,7 @@ KERNELS: Dict[str, Tuple[Callable[[int], Tuple[int, float]], int, str]] = {
     "cycle_event_loop": (_cycle_event_loop, 8_000, "instr"),
     "hierarchy": (_hierarchy, 40_000, "access"),
     "vector_engine": (_vector_engine, 8_000, "prefetch"),
+    "vector_engine_reference": (_vector_engine_reference, 8_000, "prefetch"),
 }
 
 

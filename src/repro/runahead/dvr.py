@@ -50,7 +50,7 @@ from .reconvergence import ReconvergenceStack
 from .shadow import ShadowState
 from .stride_detector import StrideDetector
 from .taint import VectorTaintTracker
-from .vector_engine import VectorChainRun
+from .vector_engine import EngineCounterMixin, VectorChainRun
 
 _IDLE = "idle"
 _DISCOVERY = "discovery"
@@ -61,11 +61,12 @@ _DISCOVERY_BUDGET = 600
 _NDM_OUTER_LANES = 16
 
 
-class DecoupledVectorRunahead(Technique):
+class DecoupledVectorRunahead(EngineCounterMixin, Technique):
     name = "dvr"
 
     def __init__(self, name: Optional[str] = None) -> None:
         super().__init__()
+        self._init_engine_book()
         if name:
             self.name = name
         self.shadow = ShadowState()
@@ -113,11 +114,21 @@ class DecoupledVectorRunahead(Technique):
         self.discovery_enabled = cfg.discovery_enabled
         self.nested_enabled = cfg.nested_enabled
         self.reconvergence_enabled = cfg.reconvergence_enabled
+        self.vector_engine = cfg.vector_engine
+        self.vector_chaining = cfg.vector_chaining
+        self.issue_width = cfg.subthread_issue_width
 
     def _new_stack(self) -> Optional[ReconvergenceStack]:
         if not self.reconvergence_enabled:
             return None
         return ReconvergenceStack(self.reconv_depth)
+
+    def _engine_kwargs(self) -> dict:
+        return {
+            "chaining": self.vector_chaining,
+            "issue_width": self.issue_width,
+            "engine": self.vector_engine,
+        }
 
     # -- decoupled progress ---------------------------------------------------------
 
@@ -133,6 +144,7 @@ class DecoupledVectorRunahead(Technique):
             self.prefetches += run.prefetches
             self.subthread_instructions += run.instructions
             self.lanes_invalidated += run.lanes_invalidated
+            self._absorb_engine(run)
             self.emit_event(run.finish_time, EV_RUNAHEAD_EXIT, run.start_pc)
             if continuation is not None:
                 continuation(run.finish_time)
@@ -281,6 +293,7 @@ class DecoupledVectorRunahead(Technique):
             reconvergence=self._new_stack(),
             source="runahead",
             stride_map=self._chain_stride_map(dyn.pc),
+            **self._engine_kwargs(),
         )
         self._active = run
         self._continuation = None
@@ -373,6 +386,7 @@ class DecoupledVectorRunahead(Technique):
             capture_end_states=True,
             source="runahead",
             stride_map=self._chain_stride_map(outer_pc),
+            **self._engine_kwargs(),
         )
         flr = self._flr
         induction_reg = inference.induction_reg
@@ -402,6 +416,7 @@ class DecoupledVectorRunahead(Technique):
                 reconvergence=self._new_stack(),
                 source="runahead",
                 stride_map=self._chain_stride_map(trigger_pc),
+                **self._engine_kwargs(),
             )
             self._active = run
             self._continuation = None

@@ -27,18 +27,19 @@ from ..prefetch.base import Technique
 from .interpreter import SpeculativeInterpreter
 from .shadow import ShadowState
 from .stride_detector import StrideDetector
-from .vector_engine import VectorChainRun
+from .vector_engine import EngineCounterMixin, VectorChainRun
 
 # How far VR's runahead front-end looks for a striding load before
 # giving up on vectorisation for this episode.
 _SCAN_BUDGET = 64
 
 
-class VectorRunahead(Technique):
+class VectorRunahead(EngineCounterMixin, Technique):
     name = "vr"
 
     def __init__(self) -> None:
         super().__init__()
+        self._init_engine_book()
         self.shadow = ShadowState()
         self.detector: StrideDetector = None  # built in attach()
         self.triggers = 0
@@ -62,6 +63,9 @@ class VectorRunahead(Technique):
         self.lanes = runahead_cfg.vr_lanes
         self.vector_width = runahead_cfg.vector_width
         self.timeout = runahead_cfg.instruction_timeout
+        self.vector_engine = runahead_cfg.vector_engine
+        self.vector_chaining = runahead_cfg.vector_chaining
+        self.issue_width = runahead_cfg.subthread_issue_width
 
     def on_commit(self, dyn, cycle, complete: int = 0) -> None:
         self.shadow.update(dyn, cycle, complete)
@@ -140,6 +144,9 @@ class VectorRunahead(Technique):
                 if pc != stride_pc
             },
             max_scalar_run=16,
+            chaining=self.vector_chaining,
+            issue_width=self.issue_width,
+            engine=self.vector_engine,
         )
         self.emit_event(start, EV_VECTOR_DISPATCH, stride_pc, self.lanes)
         run.run_to_completion()
@@ -148,6 +155,7 @@ class VectorRunahead(Technique):
         self.prefetches += run.prefetches
         self.lanes_invalidated += run.lanes_invalidated
         self.subthread_instructions += run.instructions
+        self._absorb_engine(run)
         # Delayed termination: normal mode resumes only once the entire
         # indirect chain has generated its accesses.
         self.commit_blocked_until = max(self.commit_blocked_until, run.finish_time)

@@ -45,6 +45,8 @@ EXPECTED_CHECKS = [
     "sched.conservation",
     "sched.retire-order",
     "sched.skip-accounting",
+    "vector.lane-conservation",
+    "vector.copy-conservation",
     "functional.equivalence",
 ]
 
@@ -123,7 +125,14 @@ class TestBugReintroduction:
             return self.mshrs.lookup(line, cycle) is None  # old side effect
 
         monkeypatch.setattr(MemoryHierarchy, "load_needs_mshr", buggy)
-        spec = RunSpec("camel", technique="dvr", max_instructions=3000)
+        # The reference executor still schedules gathers through the
+        # unfused load_needs_mshr query — the path this bug lived in.
+        spec = RunSpec(
+            "camel",
+            technique="dvr",
+            max_instructions=3000,
+            overrides=(("runahead.vector_engine", "reference"),),
+        )
         with pytest.raises(AuditError) as excinfo:
             run_simulation(spec, audit=True)
         record = excinfo.value.record
@@ -233,7 +242,14 @@ class TestRunnerIntegration:
             return self.mshrs.lookup(line, cycle) is None
 
         monkeypatch.setattr(MemoryHierarchy, "load_needs_mshr", buggy)
-        specs = [RunSpec("camel", technique="dvr", max_instructions=3000)]
+        specs = [
+            RunSpec(
+                "camel",
+                technique="dvr",
+                max_instructions=3000,
+                overrides=(("runahead.vector_engine", "reference"),),
+            )
+        ]
         results = run_batch(specs, audit=True)
         assert isinstance(results[0], BatchFailure)
         assert results[0].error_type == "AuditError"
