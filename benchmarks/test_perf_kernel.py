@@ -17,7 +17,8 @@ from repro.perf.bench import KERNELS, render_table, run_bench, write_payload
 
 #: The paths named by the perf harness: functional step (reference and
 #: pre-decoded), trace replay, the OoO hot loop, the hierarchy access
-#: path, and the VR vector engine.
+#: path, the VR vector engine, and the sweep fabric's per-spec
+#: dispatch + cache-lookup overhead.
 _MEASURED = (
     "functional_reference",
     "functional_step",
@@ -29,6 +30,7 @@ _MEASURED = (
     "hierarchy",
     "vector_engine",
     "vector_engine_reference",
+    "batch_dispatch",
 )
 
 #: ``ooo_loop`` entry of the v0-era committed BENCH_core.json — the

@@ -22,6 +22,7 @@ from .checks import (
     CHECKS,
     AuditContext,
     check_batch_counters,
+    check_fabric_counters,
     register_check,
     run_checks,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "audit_specs",
     "audit_timing_run",
     "check_batch_counters",
+    "check_fabric_counters",
     "format_report",
     "register_check",
     "run_checks",

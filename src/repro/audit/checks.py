@@ -566,3 +566,84 @@ def check_batch_counters(snapshot: Dict[str, int], serial: bool = False) -> Chec
                     "(hits + dedup + completions + failures)"
                 )
     return CheckResult(name="batch.conservation", violations=violations)
+
+
+# -- distributed fabric counter conservation ---------------------------------
+
+def check_fabric_counters(
+    snapshot: Dict[str, int],
+    worker_completions: Optional[Dict[str, int]] = None,
+) -> CheckResult:
+    """Campaign bookkeeping: the distributed books balance.
+
+    Three laws over one campaign's ``fabric.*`` family (evaluated at
+    campaign completion, so no spec is still pending):
+
+    1. **Work conservation** — ``batch.sim.completions`` summed across
+       workers equals campaign completions minus cache hits: every
+       simulation a worker burned CPU on either became the campaign's
+       accepted result for its spec (``fabric.completed``) or arrived
+       after a lease-death requeue already resolved the spec
+       (``fabric.ignored.ok``); cache hits, by construction, burned no
+       worker CPU at all.
+    2. **Lease conservation** — every granted lease ends exactly once:
+       accepted (completed/failed), ignored-late, requeued, cancelled,
+       retry-exhausted (``fabric.lost`` — the spec's final lease died
+       with no retry budget left), or still outstanding at snapshot
+       time (``fabric.leased``).
+    3. **Spec accounting** — every input spec resolves exactly once:
+       simulated (completed/failed/lost), served from cache
+       (cache hits / resumed), run coordinator-locally, deduplicated,
+       or rejected at parse time.
+    """
+    get = snapshot.get
+    violations: List[str] = []
+    completed = get("fabric.completed", 0)
+    failed = get("fabric.failed", 0)
+    ignored_ok = get("fabric.ignored.ok", 0)
+    ignored_fail = get("fabric.ignored.fail", 0)
+
+    if worker_completions is not None:
+        simulated = sum(worker_completions.values())
+        if simulated != completed + ignored_ok:
+            violations.append(
+                f"workers report {simulated} completed simulations but the "
+                f"campaign accepted fabric.completed={completed} + "
+                f"fabric.ignored.ok={ignored_ok}"
+            )
+
+    dispatched = get("fabric.dispatched", 0)
+    ended = (
+        completed
+        + failed
+        + ignored_ok
+        + ignored_fail
+        + get("fabric.requeued", 0)
+        + get("fabric.cancelled", 0)
+        + get("fabric.lost", 0)
+        + get("fabric.leased", 0)
+    )
+    if dispatched != ended:
+        violations.append(
+            f"fabric.dispatched={dispatched} leases but {ended} lease "
+            "endings (completed + failed + ignored + requeued + cancelled "
+            "+ lost + outstanding)"
+        )
+
+    specs = get("fabric.specs", 0)
+    resolved = (
+        completed
+        + failed
+        + get("fabric.lost", 0)
+        + get("fabric.cache.hits", 0)
+        + get("fabric.resumed", 0)
+        + get("fabric.local", 0)
+        + get("fabric.dedup.reused", 0)
+        + get("fabric.parse_failures", 0)
+    )
+    if specs != resolved:
+        violations.append(
+            f"{specs} specs in, {resolved} resolved (completed + failed + "
+            "lost + cache + resumed + local + dedup + parse failures)"
+        )
+    return CheckResult(name="fabric.conservation", violations=violations)

@@ -7,6 +7,8 @@ Examples::
     repro figure figure7 --instructions 10000
     repro table table2
     repro batch specs.json --jobs 8 --cache .repro-cache
+    repro campaign run specs.json --workers 4 --manifest camp/ --cache
+    repro cache stats --dir .repro-cache
     repro sweep --workload nas_cg --technique dvr \\
           --param runahead.dvr_lanes --values 32 64 --cache
 """
@@ -230,6 +232,113 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_audit_flag(batch_p)
     _add_batch_flags(batch_p)
     _add_dump_spec_flag(batch_p)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="distributed sweep fabric: coordinator + pull-based workers",
+        description="Run a spec list across pull-based workers (see"
+        " docs/fabric.md). 'campaign run' starts a coordinator on an"
+        " ephemeral localhost port plus N workers; '--manifest DIR' makes"
+        " the campaign resumable (with --cache, a killed campaign resumes"
+        " with zero re-simulation). 'campaign worker' joins an existing"
+        " coordinator; 'campaign status' inspects a manifest's ledger.",
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+    crun_p = camp_sub.add_parser(
+        "run", help="run a spec list across local pull-based workers"
+    )
+    crun_p.add_argument(
+        "specs", metavar="SPECS", nargs="?", default=None,
+        help="JSON file holding a list of repro.spec/1 documents; optional"
+        " when --manifest DIR already holds a campaign (resume)",
+    )
+    crun_p.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="number of pull-based workers to spawn",
+    )
+    crun_p.add_argument(
+        "--worker-mode", choices=["thread", "process"], default="process",
+        help="worker isolation: one subprocess each (default) or in-process"
+        " threads (faster startup, shared interpreter)",
+    )
+    crun_p.add_argument(
+        "--manifest", metavar="DIR", default=None,
+        help="campaign directory (repro.campaign/1 manifest + completion"
+        " ledger); an existing DIR resumes, a fresh one is created",
+    )
+    crun_p.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="DIR",
+        help="result cache backing the campaign (required for resume to"
+        " skip completed specs); DIR defaults to $REPRO_CACHE_DIR",
+    )
+    crun_p.add_argument("--retries", type=int, default=2,
+                        help="lease requeues per spec before giving up")
+    crun_p.add_argument("--lease-timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="heartbeat deadline before a lease is requeued")
+    crun_p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="abort the campaign if not complete in time")
+    crun_p.add_argument(
+        "--chaos-workers", type=int, default=0, metavar="N",
+        help="additionally spawn N fault-injection workers that each pull"
+        " one spec and die holding the lease (recovery smoke test)",
+    )
+    crun_p.add_argument("--format", choices=["text", "json"], default="text")
+    _add_audit_flag(crun_p)
+    crun_p.set_defaults(resume=False)
+    cworker_p = camp_sub.add_parser(
+        "worker", help="join a running coordinator as one pull-based worker"
+    )
+    cworker_p.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (printed by 'campaign run --verbose' or"
+        " chosen when starting a Coordinator programmatically)",
+    )
+    cworker_p.add_argument("--poll", type=float, default=0.1, metavar="SECONDS")
+    cworker_p.add_argument(
+        "--self-destruct", type=int, default=None, metavar="N",
+        help="fault injection: drop the connection after pulling the Nth"
+        " spec, holding its lease (worker-death testing)",
+    )
+    cworker_p.add_argument(
+        "--hang-after", type=int, default=None, metavar="N",
+        help="fault injection: go silent after pulling the Nth spec"
+        " (lease-timeout testing)",
+    )
+    cstatus_p = camp_sub.add_parser(
+        "status", help="summarize a campaign manifest's completion ledger"
+    )
+    cstatus_p.add_argument("manifest", metavar="DIR")
+    cstatus_p.add_argument("--json", action="store_true")
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect and garbage-collect the on-disk result cache",
+        description="The sharded content-addressed result cache (see"
+        " docs/experiments.md). 'cache stats' reports entry/byte totals"
+        " and the per-shard breakdown; 'cache gc' evicts by age and/or"
+        " LRU down to a byte budget.",
+    )
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    cstats_p = cache_sub.add_parser("stats", help="entry count, bytes, per-shard breakdown")
+    cstats_p.add_argument(
+        "--dir", metavar="DIR", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    cstats_p.add_argument("--json", action="store_true")
+    cgc_p = cache_sub.add_parser("gc", help="evict entries by age and/or LRU byte budget")
+    cgc_p.add_argument("--dir", metavar="DIR", default=None)
+    cgc_p.add_argument(
+        "--max-bytes", metavar="SIZE", default=None,
+        help="evict least-recently-used entries until under SIZE"
+        " (suffixes K/M/G, e.g. 256M)",
+    )
+    cgc_p.add_argument(
+        "--max-age", metavar="AGE", default=None,
+        help="evict entries older than AGE (suffixes s/m/h/d, e.g. 7d)",
+    )
+    cgc_p.add_argument("--dry-run", action="store_true",
+                       help="report what would be evicted without deleting")
 
     audit_p = sub.add_parser(
         "audit",
@@ -564,6 +673,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "batch":
         return _run_batch_command(args)
+    if args.command == "campaign":
+        return _run_campaign_command(args)
+    if args.command == "cache":
+        return _run_cache_command(args)
     if args.command == "audit":
         return _run_audit_command(args)
     if args.command == "pipeview":
@@ -664,6 +777,191 @@ def _run_batch_command(args) -> int:
     if cache is not None:
         _emit_batch_stats()
     return 1 if failures else 0
+
+
+def _emit_fabric_stats(snapshot) -> None:
+    """One stderr line with the full fabric.* counter family."""
+    line = " ".join(f"{k}={v:g}" for k, v in sorted(snapshot.items()))
+    print(f"fabric stats : {line}", file=sys.stderr)
+
+
+def _run_campaign_command(args) -> int:
+    """``repro campaign run/worker/status``: the distributed sweep fabric."""
+    from .errors import ReproError
+    from .experiments.fabric import CampaignManifest, Worker, parse_address, run_campaign
+
+    if args.campaign_command == "worker":
+        try:
+            worker = Worker(
+                parse_address(args.connect),
+                poll=args.poll,
+                self_destruct=args.self_destruct,
+                hang_after=args.hang_after,
+            )
+            sent = worker.run()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"worker {worker.worker_id}: {sent} results sent, "
+            f"{worker.completions} simulations",
+            file=sys.stderr,
+        )
+        return 0
+    if args.campaign_command == "status":
+        try:
+            manifest = CampaignManifest.load(args.manifest)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        status = manifest.status()
+        if args.json:
+            print(json.dumps(status, indent=2))
+        else:
+            remaining = status["specs"] - status["ok"] - status["failed"]
+            print(f"campaign     : {status['directory']}")
+            print(f"digest       : {status['digest']}")
+            print(f"specs        : {status['specs']}")
+            print(f"completed ok : {status['ok']}")
+            print(f"failed       : {status['failed']}")
+            print(f"remaining    : {max(0, remaining)}")
+        return 0
+
+    # campaign run
+    if args.specs is not None:
+        try:
+            with open(args.specs) as handle:
+                specs = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read spec file {args.specs!r}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(specs, list) or not all(isinstance(s, dict) for s in specs):
+            print("error: spec file must hold a JSON list of objects", file=sys.stderr)
+            return 2
+    elif args.manifest is not None and CampaignManifest.exists(args.manifest):
+        specs = CampaignManifest.load(args.manifest).specs
+    else:
+        print(
+            "error: a spec file is required (or --manifest DIR holding an"
+            " existing campaign to resume)",
+            file=sys.stderr,
+        )
+        return 2
+    cache = _make_cache(args)
+    if args.manifest is not None and cache is None:
+        print(
+            "warning: --manifest without --cache records completions but"
+            " cannot serve their results on resume (completed specs would"
+            " re-simulate); pass --cache for zero re-simulation",
+            file=sys.stderr,
+        )
+    try:
+        campaign = run_campaign(
+            specs,
+            workers=args.workers,
+            cache=cache,
+            manifest_dir=args.manifest,
+            lease_timeout=args.lease_timeout,
+            retries=args.retries,
+            timeout=args.timeout,
+            worker_mode=args.worker_mode,
+            chaos_workers=args.chaos_workers,
+            audit=args.audit,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failures = len(campaign.failures)
+    if args.format == "json":
+        print(json.dumps([r.to_dict() for r in campaign.outcomes], indent=2))
+    else:
+        for result in campaign.outcomes:
+            if isinstance(result, BatchFailure):
+                print(f"FAIL {result.summary()}")
+            else:
+                print(
+                    f"ok   {result.workload}/{result.technique}: "
+                    f"ipc={result.ipc:.3f} cycles={result.cycles} "
+                    f"instructions={result.instructions}"
+                )
+        print(f"{len(campaign.outcomes) - failures}/{len(campaign.outcomes)} specs succeeded")
+        completions = " ".join(
+            f"{worker}={count}" for worker, count in sorted(campaign.worker_completions.items())
+        )
+        if completions:
+            print(f"workers      : {completions}", file=sys.stderr)
+    _emit_fabric_stats(campaign.fabric)
+    if cache is not None:
+        _emit_batch_stats()
+    if not campaign.conservation.passed:
+        for violation in campaign.conservation.violations:
+            print(f"CONSERVATION : {violation}", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
+def _parse_bytes(text: str) -> int:
+    """``256M``-style size → bytes."""
+    scales = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    raw = text.strip().lower()
+    scale = scales.get(raw[-1:], None)
+    if scale is not None:
+        raw = raw[:-1]
+    try:
+        return int(float(raw) * (scale or 1))
+    except ValueError:
+        raise ValueError(f"bad size {text!r} (expected e.g. 1048576, 256M, 2G)")
+
+
+def _parse_age(text: str) -> float:
+    """``7d``-style age → seconds."""
+    scales = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    raw = text.strip().lower()
+    scale = scales.get(raw[-1:], None)
+    if scale is not None:
+        raw = raw[:-1]
+    try:
+        return float(raw) * (scale or 1.0)
+    except ValueError:
+        raise ValueError(f"bad age {text!r} (expected e.g. 3600, 36h, 7d)")
+
+
+def _run_cache_command(args) -> int:
+    """``repro cache stats/gc``: result-cache maintenance."""
+    from .experiments import ResultCache
+
+    cache = ResultCache(args.dir or None)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2))
+            return 0
+        print(f"cache dir    : {stats['root']}")
+        print(f"entries      : {stats['entries']}")
+        print(f"bytes        : {stats['bytes']}")
+        occupied = {k: v for k, v in stats["shards"].items() if v["entries"]}
+        print(f"shards       : {len(occupied)} occupied")
+        for shard in sorted(occupied):
+            info = occupied[shard]
+            print(f"  {shard}: {info['entries']} entries, {info['bytes']} bytes")
+        return 0
+    # cache gc
+    try:
+        max_bytes = _parse_bytes(args.max_bytes) if args.max_bytes is not None else None
+        max_age = _parse_age(args.max_age) if args.max_age is not None else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if max_bytes is None and max_age is None:
+        print("error: cache gc needs --max-bytes and/or --max-age", file=sys.stderr)
+        return 2
+    report = cache.gc(max_bytes=max_bytes, max_age=max_age, dry_run=args.dry_run)
+    verb = "would evict" if args.dry_run else "evicted"
+    print(
+        f"{verb} {report['evicted']} entries ({report['freed_bytes']} bytes), "
+        f"kept {report['kept']}, swept {report['tmp_swept']} stale temp files"
+    )
+    return 0
 
 
 def _run_audit_command(args) -> int:

@@ -17,6 +17,15 @@ from .cache import (
     reset_batch_counters,
     use_cache,
 )
+from .fabric import (
+    CAMPAIGN_SCHEMA,
+    FABRIC_COUNTER_NAMES,
+    CampaignManifest,
+    CampaignResult,
+    Coordinator,
+    Worker,
+    run_campaign,
+)
 from .figures import (
     figure2,
     figure7,
@@ -39,6 +48,7 @@ from .spec import (
     dump_specs,
     load_specs,
     parse_spec_entry,
+    specs_digest,
     split_run_kwargs,
 )
 from .sweep import compare_specs, compare_techniques, run_sweep, sweep_specs
@@ -47,7 +57,13 @@ from .tables import hardware_cost_table, table1_rows, table2_rows
 __all__ = [
     "BATCH_COUNTERS",
     "BatchFailure",
+    "CAMPAIGN_SCHEMA",
+    "CampaignManifest",
+    "CampaignResult",
+    "Coordinator",
     "ExperimentResult",
+    "FABRIC_COUNTER_NAMES",
+    "Worker",
     "RUNTIME_KEYS",
     "ResultCache",
     "RunSpec",
@@ -56,6 +72,7 @@ __all__ = [
     "dump_specs",
     "load_specs",
     "parse_spec_entry",
+    "specs_digest",
     "split_run_kwargs",
     "figure2",
     "figure7",
@@ -70,6 +87,7 @@ __all__ = [
     "harmonic_mean",
     "reset_batch_counters",
     "run_batch",
+    "run_campaign",
     "run_simulation",
     "speedup_matrix",
     "successful",

@@ -91,6 +91,17 @@ class BatchFailure:
             "attempts": self.attempts,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "BatchFailure":
+        """Rebuild a failure record shipped over the fabric wire."""
+        return cls(
+            spec=dict(payload.get("spec") or {}),
+            error_type=str(payload.get("error_type", "UnknownError")),
+            message=str(payload.get("message", "")),
+            traceback=str(payload.get("traceback", "")),
+            attempts=int(payload.get("attempts", 1)),
+        )
+
 
 def _failure_payload(spec: RunSpec, runtime: Dict) -> Dict:
     """JSON-safe record of the spec slot a failure came from."""
@@ -186,6 +197,68 @@ def _run_pending_parallel(
             time.sleep(retry_backoff * (2 ** (attempt - 1)))
 
 
+def normalize_specs(
+    specs: Sequence[Union[RunSpec, Dict]], audit: bool = False
+) -> Tuple[List[Optional[BatchItem]], Dict[int, BatchFailure]]:
+    """Normalize raw batch entries onto the canonical spec type.
+
+    Returns one slot per input: the parsed :data:`BatchItem`, or
+    ``None`` for a slot whose entry could not even be parsed — such a
+    spec is isolated exactly like one that fails to run, via a
+    :class:`BatchFailure` in the second mapping (index → failure).
+    Shared by :func:`run_batch` and the fabric coordinator.
+    """
+    items: List[Optional[BatchItem]] = []
+    parse_failures: Dict[int, BatchFailure] = {}
+    for index, raw in enumerate(specs):
+        try:
+            spec, runtime = parse_spec_entry(raw)
+            if audit:
+                runtime = dict(runtime, audit=True)
+            items.append((spec, runtime))
+        except Exception as exc:  # noqa: BLE001 — the isolation boundary
+            parse_failures[index] = BatchFailure(
+                spec=canonical_spec(dict(raw)) if isinstance(raw, dict) else {},
+                error_type=type(exc).__name__,
+                message=str(exc),
+                traceback=traceback_module.format_exc(),
+            )
+            items.append(None)
+    return items, parse_failures
+
+
+def dedup_items(
+    items: Sequence[Optional[BatchItem]],
+    counters=None,
+) -> Tuple[Dict[str, List[int]], List[Tuple[str, BatchItem]]]:
+    """Content-addressed dedup: identical specs simulate once.
+
+    Returns ``positions`` (key → every input slot holding that spec)
+    and ``unique`` (one ``(key, item)`` per distinct spec, input
+    order). Specs carrying a live observability facade are never
+    deduped (the caller wants per-run side-band state populated).
+    """
+    if counters is None:
+        counters = BATCH_COUNTERS
+    positions: Dict[str, List[int]] = {}
+    unique: List[Tuple[str, BatchItem]] = []
+    for index, item in enumerate(items):
+        if item is None:
+            continue
+        spec, runtime = item
+        if runtime.get("observability") is None:
+            key = spec.key()
+        else:
+            key = f"uncacheable-{index}"
+        slots = positions.setdefault(key, [])
+        if slots:
+            counters.inc("batch.dedup.reused")
+        else:
+            unique.append((key, item))
+        slots.append(index)
+    return positions, unique
+
+
 def _validate_jobs(jobs: Optional[int]) -> None:
     if jobs is not None and (
         isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 1
@@ -232,45 +305,11 @@ def run_batch(
     BATCH_COUNTERS.inc("batch.batches")
     BATCH_COUNTERS.inc("batch.specs", len(specs))
 
-    # Normalize every entry onto the canonical spec type. A spec that
-    # cannot even be parsed is isolated exactly like one that fails to
-    # run: its slot carries a BatchFailure, the batch proceeds.
-    items: List[Optional[BatchItem]] = []
-    parse_failures: Dict[int, BatchFailure] = {}
-    for index, raw in enumerate(specs):
-        try:
-            spec, runtime = parse_spec_entry(raw)
-            if audit:
-                runtime = dict(runtime, audit=True)
-            items.append((spec, runtime))
-        except Exception as exc:  # noqa: BLE001 — the isolation boundary
-            parse_failures[index] = BatchFailure(
-                spec=canonical_spec(dict(raw)) if isinstance(raw, dict) else {},
-                error_type=type(exc).__name__,
-                message=str(exc),
-                traceback=traceback_module.format_exc(),
-            )
-            items.append(None)
-
-    # Content-addressed dedup: identical specs simulate once. Specs
-    # carrying a live observability facade are never deduped or cached
-    # (the caller wants the per-run side-band state populated).
-    positions: Dict[str, List[int]] = {}
-    unique: List[Tuple[str, BatchItem]] = []
-    for index, item in enumerate(items):
-        if item is None:
-            continue
-        spec, runtime = item
-        if runtime.get("observability") is None:
-            key = spec.key()
-        else:
-            key = f"uncacheable-{index}"
-        slots = positions.setdefault(key, [])
-        if slots:
-            BATCH_COUNTERS.inc("batch.dedup.reused")
-        else:
-            unique.append((key, item))
-        slots.append(index)
+    # Normalize every entry onto the canonical spec type (a spec that
+    # cannot be parsed carries a BatchFailure in its slot), then dedup
+    # content-addressed so identical specs simulate once.
+    items, parse_failures = normalize_specs(specs, audit=audit)
+    positions, unique = dedup_items(items)
 
     outcomes: Dict[str, BatchOutcome] = {}
     pending: List[Tuple[str, BatchItem]] = []

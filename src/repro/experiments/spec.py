@@ -439,3 +439,25 @@ def dump_specs(
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
+
+
+def specs_digest(specs: Sequence[Union["RunSpec", Mapping]]) -> str:
+    """Content address of an *ordered* spec list (campaign identity).
+
+    Unlike :meth:`RunSpec.key` this is order-sensitive and fingerprint-
+    free: a campaign manifest names *which runs in which slots*, not
+    their cached results, so the digest must survive source edits (the
+    per-result cache keys still embed the code fingerprint). Parse
+    failures are hashed as raw entries — a campaign with a poisoned
+    slot is still a well-defined campaign.
+    """
+    import hashlib
+
+    entries = []
+    for spec in specs:
+        try:
+            entries.append(RunSpec.from_any(spec).to_payload())
+        except Exception:  # noqa: BLE001 — keep the digest total
+            entries.append(dict(spec) if isinstance(spec, Mapping) else repr(spec))
+    blob = json.dumps(entries, sort_keys=True, separators=(",", ":"), default=repr)
+    return hashlib.blake2b(blob.encode(), digest_size=16).hexdigest()

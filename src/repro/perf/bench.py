@@ -47,6 +47,11 @@ Kernels:
     over a two-level stride-indirect chain: the slice-based chaining
     engine vs. the kept flat-gather reference executor
     (differentially tested in ``tests/test_vector_slice_engine.py``).
+``batch_dispatch``
+    The sweep fabric's per-spec overhead: ``run_batch`` over a spec
+    list that is 100% cache hits, so the measured cost is spec
+    normalization + content-address keying + one sharded-cache lookup
+    per spec — everything a campaign pays *around* each simulation.
 
 Results serialise as a ``repro.bench-core/1`` document (committed at
 the repo root as ``BENCH_core.json``); ``docs/performance.md``
@@ -258,6 +263,34 @@ def _vector_engine_kernel(n: int, engine: str) -> Tuple[int, float]:
     return work, time.perf_counter() - t0
 
 
+def _batch_dispatch(n: int) -> Tuple[int, float]:
+    import tempfile
+
+    from ..experiments.batch import run_batch
+    from ..experiments.cache import ResultCache
+    from ..experiments.runner import run_simulation
+    from ..experiments.spec import RunSpec
+
+    result = run_simulation(_BENCH_WORKLOAD, "ooo", max_instructions=600)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        cache = ResultCache(root)
+        # n distinct specs (dedup must not collapse them), all warm.
+        specs = [
+            RunSpec(_BENCH_WORKLOAD, max_instructions=600 + i) for i in range(n)
+        ]
+        for spec in specs:
+            cache.put(spec.key(), result)
+        t0 = time.perf_counter()
+        run_batch(specs, cache=cache)
+        seconds = time.perf_counter() - t0
+        if cache.hits != n or cache.misses:
+            raise ReproError(
+                "batch_dispatch kernel expected an all-hit batch "
+                f"(hits={cache.hits}, misses={cache.misses}, n={n})"
+            )
+    return n, seconds
+
+
 def _vector_engine(n: int) -> Tuple[int, float]:
     return _vector_engine_kernel(n, "slice")
 
@@ -280,6 +313,7 @@ KERNELS: Dict[str, Tuple[Callable[[int], Tuple[int, float]], int, str]] = {
     "hierarchy": (_hierarchy, 40_000, "access"),
     "vector_engine": (_vector_engine, 8_000, "prefetch"),
     "vector_engine_reference": (_vector_engine_reference, 8_000, "prefetch"),
+    "batch_dispatch": (_batch_dispatch, 1_500, "spec"),
 }
 
 

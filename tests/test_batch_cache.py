@@ -1,6 +1,9 @@
 """Fault-tolerant batch runner + content-addressed result cache tests."""
 
 import json
+import os
+import time
+from pathlib import Path
 
 import pytest
 
@@ -188,7 +191,7 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         spec = _spec()
         run_batch([spec], cache=cache)
-        entry = next(tmp_path.glob("*.json"))
+        entry = next(tmp_path.rglob("*.json"))
         entry.write_text("{not json")
         result = run_batch([spec], cache=cache)[0]
         assert result.ipc > 0
@@ -228,6 +231,230 @@ class TestResultCache:
         assert BATCH_COUNTERS.get("batch.cache.misses") == 0
         assert BATCH_COUNTERS.get("batch.cache.hits") == 3
         assert repeat.rows[0][1] > 0
+
+
+def _hammer_cache(root, result, keys, barrier):
+    """Child-process body for the concurrent-writer stress test."""
+    cache = ResultCache(root)
+    barrier.wait()  # maximise put/put and put/get overlap
+    for key in keys:
+        cache.put(key, result)
+        assert cache.get(key) is not None
+
+
+class TestShardedCache:
+    def test_entries_land_in_spec_key_prefix_shards(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch([_spec(), _spec(technique="dvr")], cache=cache)
+        entries = list(tmp_path.rglob("*.json"))
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry.parent.name == entry.stem[:2]
+
+    def test_flat_legacy_entry_is_served_and_migrated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        run_batch([spec], cache=cache)
+        sharded = next(tmp_path.rglob("*.json"))
+        flat = tmp_path / sharded.name  # demote to the pre-shard layout
+        sharded.rename(flat)
+        result = run_batch([spec], cache=cache)[0]
+        assert result.ipc > 0
+        assert cache.hits == 1
+        assert not flat.exists()
+        assert (tmp_path / flat.stem[:2] / flat.name).exists()
+
+    def test_duplicate_write_is_a_hit_not_a_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = run_batch([spec], cache=cache)[0]
+        key = next(tmp_path.rglob("*.json")).stem
+        other = ResultCache(tmp_path)  # second writer, cold view
+        other.put(key, result)
+        assert (other.stores, other.dup_writes) == (0, 1)
+        assert BATCH_COUNTERS.get("batch.cache.dup_writes") == 1
+        assert len(list(tmp_path.rglob("*.json"))) == 1
+
+    def test_publish_race_lost_at_link_time_counts_as_dup(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        spec = _spec()
+        result = run_batch([spec], cache=cache)[0]
+        key = next(tmp_path.rglob("*.json")).stem
+        # Defeat the cheap exists() pre-check so put() reaches the
+        # atomic link() publish against an already-published key —
+        # the narrow two-writers-finish-together window.
+        monkeypatch.setattr(cache_module.Path, "exists", lambda self: False)
+        cache.put(key, result)
+        assert cache.dup_writes == 1
+        assert not list(tmp_path.rglob(".tmp-*"))  # temp file cleaned up
+
+    def test_concurrent_multiprocess_writers_tear_nothing(self, tmp_path):
+        import multiprocessing
+
+        result = run_simulation("camel", "ooo", max_instructions=300)
+        keys = ["%040x" % (i * 2654435761) for i in range(24)]
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(4)
+        procs = [
+            ctx.Process(
+                target=_hammer_cache, args=(str(tmp_path), result, keys, barrier)
+            )
+            for _ in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        cache = ResultCache(tmp_path)
+        assert len(cache) == len(keys)
+        for entry in tmp_path.rglob("*.json"):
+            json.loads(entry.read_text())  # atomic publish ⇒ never torn
+        for key in keys:
+            assert cache.get(key) is not None
+
+    def test_writer_killed_mid_put_leaves_no_torn_entry(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+
+        script = (
+            "import sys\n"
+            "from repro.experiments import ResultCache, run_simulation\n"
+            "cache = ResultCache(sys.argv[1])\n"
+            "result = run_simulation('camel', 'ooo', max_instructions=300)\n"
+            "print('ready', flush=True)\n"
+            "i = 0\n"
+            "while True:\n"
+            "    cache.put('%040d' % i, result)\n"
+            "    i += 1\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(Path(__file__).resolve().parents[1] / "src"),
+                          env.get("PYTHONPATH")])
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(tmp_path)],
+            stdout=subprocess.PIPE, env=env,
+        )
+        try:
+            assert proc.stdout.readline().strip() == b"ready"
+            time.sleep(0.3)  # let it publish a few hundred entries
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+        # rglob, unlike glob.glob, matches dotfiles — skip the victim's
+        # in-flight ``.tmp-*`` file (unflushed crash residue, swept below);
+        # every *published* entry must be whole.
+        entries = [
+            p for p in tmp_path.rglob("*.json") if not p.name.startswith(".")
+        ]
+        assert entries, "writer never published anything"
+        for entry in entries:
+            json.loads(entry.read_text())  # no torn JSON anywhere
+        # A temp file the victim was mid-write on is swept once stale.
+        cache = ResultCache(tmp_path)
+        for tmp in tmp_path.rglob(".tmp-*"):
+            past = time.time() - 2 * cache_module.STALE_TMP_SECONDS
+            os.utime(tmp, (past, past))
+        report = cache.gc(max_age=10 * cache_module.STALE_TMP_SECONDS)
+        assert not list(tmp_path.rglob(".tmp-*"))
+        assert report["evicted"] == 0  # fresh entries stay
+
+    def test_stats_reports_per_shard_breakdown(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch([_spec(), _spec(technique="dvr"), _spec("nas_is")], cache=cache)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["bytes"] == sum(
+            p.stat().st_size for p in tmp_path.rglob("*.json")
+        )
+        assert sum(s["entries"] for s in stats["shards"].values()) == 3
+        for shard, info in stats["shards"].items():
+            assert len(shard) == cache_module.SHARD_WIDTH
+            assert info["bytes"] > 0
+
+    def test_gc_age_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch([_spec(), _spec(technique="dvr")], cache=cache)
+        old, new = sorted(tmp_path.rglob("*.json"))
+        stale = time.time() - 1000
+        os.utime(old, (stale, stale))
+        report = cache.gc(max_age=500)
+        assert (report["evicted"], report["kept"]) == (1, 1)
+        assert not old.exists() and new.exists()
+        assert BATCH_COUNTERS.get("batch.cache.evictions") == 1
+
+    def test_gc_lru_eviction_respects_recency_of_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [_spec(), _spec(technique="dvr"), _spec("nas_is")]
+        run_batch(specs, cache=cache)
+        paths = sorted(tmp_path.rglob("*.json"))
+        for age, path in zip((900, 600, 300), paths):
+            then = time.time() - age
+            os.utime(path, (then, then))
+        # A hit refreshes the oldest entry's LRU clock...
+        oldest_key = paths[0].stem
+        assert cache.get(oldest_key) is not None
+        # ...so a one-entry byte budget keeps it and evicts the others.
+        keep_bytes = paths[0].stat().st_size
+        report = cache.gc(max_bytes=keep_bytes)
+        assert report["evicted"] == 2
+        assert paths[0].exists()
+        assert not paths[1].exists() and not paths[2].exists()
+
+    def test_gc_dry_run_deletes_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch([_spec()], cache=cache)
+        report = cache.gc(max_bytes=0, dry_run=True)
+        assert report["evicted"] == 1
+        assert len(list(tmp_path.rglob("*.json"))) == 1
+
+    def test_len_and_total_bytes_use_the_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_batch([_spec(), _spec(technique="dvr")], cache=cache)
+        fresh = ResultCache(tmp_path)
+        assert len(fresh) == 2
+        assert fresh.total_bytes() == sum(
+            p.stat().st_size for p in tmp_path.rglob("*.json")
+        )
+
+
+class TestCacheCLI:
+    def test_cache_stats_text_and_json(self, tmp_path, capsys):
+        run_batch([_spec(), _spec(technique="dvr")], cache=ResultCache(tmp_path))
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries      : 2" in out
+        assert main(["cache", "stats", "--dir", str(tmp_path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+
+    def test_cache_gc_with_size_suffix(self, tmp_path, capsys):
+        run_batch([_spec(), _spec(technique="dvr")], cache=ResultCache(tmp_path))
+        assert main(["cache", "gc", "--dir", str(tmp_path), "--max-bytes", "1K"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out
+        assert len(list(tmp_path.rglob("*.json"))) <= 1
+
+    def test_cache_gc_dry_run_and_age(self, tmp_path, capsys):
+        run_batch([_spec()], cache=ResultCache(tmp_path))
+        assert main([
+            "cache", "gc", "--dir", str(tmp_path), "--max-age", "0s", "--dry-run",
+        ]) == 0
+        assert "would evict 1" in capsys.readouterr().out
+        assert len(list(tmp_path.rglob("*.json"))) == 1
+
+    def test_cache_gc_requires_a_policy(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--dir", str(tmp_path)]) == 2
+        assert "needs --max-bytes and/or --max-age" in capsys.readouterr().err
+
+    def test_cache_gc_rejects_bad_size(self, tmp_path, capsys):
+        assert main([
+            "cache", "gc", "--dir", str(tmp_path), "--max-bytes", "lots",
+        ]) == 2
+        assert "bad size" in capsys.readouterr().err
 
 
 class TestWorkloadDispatch:

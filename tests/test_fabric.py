@@ -1,0 +1,438 @@
+"""Distributed sweep fabric tests: protocol, leases, manifests, recovery.
+
+The load-bearing guarantees under test:
+
+* campaign results are **bit-identical** to a serial ``run_batch`` of
+  the same spec list, with or without worker deaths in between;
+* a worker dying (connection drop) or hanging (no heartbeat) returns
+  its leased specs to the queue, bounded by the retry budget;
+* a killed campaign **resumes with zero re-simulation** from its
+  manifest + ledger + cache;
+* the distributed conservation law holds: ``batch.sim.completions``
+  summed across workers equals campaign completions minus cache hits.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.audit import check_fabric_counters
+from repro.cli import main
+from repro.errors import ReproError
+from repro.experiments import (
+    BATCH_COUNTERS,
+    BatchFailure,
+    CampaignManifest,
+    Coordinator,
+    ResultCache,
+    RunSpec,
+    Worker,
+    reset_batch_counters,
+    run_batch,
+    run_campaign,
+    run_simulation,
+    specs_digest,
+)
+from repro.experiments.fabric import parse_address
+from repro.experiments.protocol import (
+    ProtocolError,
+    outcome_from_payload,
+    outcome_to_payload,
+    recv_message,
+    send_message,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    reset_batch_counters()
+    yield
+    reset_batch_counters()
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_simulation("camel", "ooo", max_instructions=300)
+
+
+def _specs(n=4, start=400, step=50):
+    return [RunSpec("camel", max_instructions=start + step * i) for i in range(n)]
+
+
+def _payloads(n=4):
+    return [
+        {"schema": "repro.spec/1", "workload": "camel", "max_instructions": 400 + 50 * i}
+        for i in range(n)
+    ]
+
+
+POISONED = {"schema": "repro.spec/1", "workload": "no_such_workload"}
+
+
+def _campaign(specs, **kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("worker_mode", "thread")
+    kw.setdefault("lease_timeout", 10.0)
+    kw.setdefault("timeout", 60.0)
+    return run_campaign(specs, **kw)
+
+
+class TestProtocol:
+    def test_frame_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_message(a, {"type": "hello", "worker": "w1", "blob": "x" * 5000})
+            assert recv_message(b) == {"type": "hello", "worker": "w1", "blob": "x" * 5000}
+            send_message(b, {"type": "ok"})
+            assert recv_message(a) == {"type": "ok"}
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            assert recv_message(b) is None
+
+    def test_mid_frame_close_is_a_protocol_error(self):
+        a, b = socket.socketpair()
+        with b:
+            a.sendall(b"\x00\x00\x01\x00partial")
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_message(b)
+
+    def test_oversized_frame_is_rejected_by_both_sides(self):
+        a, b = socket.socketpair()
+        with a, b:
+            with pytest.raises(ProtocolError, match="exceeds the cap"):
+                send_message(a, {"type": "x", "blob": "y" * (64 * 1024 * 1024)})
+            a.sendall(b"\xff\xff\xff\xff")
+            with pytest.raises(ProtocolError, match="exceeds the cap"):
+                recv_message(b)
+
+    def test_non_object_message_is_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            blob = json.dumps([1, 2, 3]).encode()
+            a.sendall(len(blob).to_bytes(4, "big") + blob)
+            with pytest.raises(ProtocolError, match="object with a 'type'"):
+                recv_message(b)
+
+    def test_result_outcome_roundtrips_bit_identical(self, small_result):
+        payload = outcome_to_payload("k" * 40, small_result)
+        again = outcome_from_payload(json.loads(json.dumps(payload)))
+        assert again == small_result
+        assert again.counters == small_result.counters
+
+    def test_failure_outcome_roundtrips(self):
+        failure = BatchFailure(
+            spec={"workload": "camel"}, error_type="WorkloadError",
+            message="boom", traceback="tb", attempts=2,
+        )
+        again = outcome_from_payload(outcome_to_payload("k", failure))
+        assert isinstance(again, BatchFailure)
+        assert (again.error_type, again.message, again.attempts) == (
+            "WorkloadError", "boom", 2,
+        )
+
+    def test_wrong_schema_document_is_rejected(self):
+        with pytest.raises(ProtocolError, match="repro.batch-result/1"):
+            outcome_from_payload({"schema": "something/9", "ok": True})
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8123") == ("127.0.0.1", 8123)
+        for bad in ("nope", ":42", "host:", "host:abc"):
+            with pytest.raises(ReproError):
+                parse_address(bad)
+
+
+class TestCampaignManifest:
+    def test_create_load_roundtrip(self, tmp_path):
+        manifest = CampaignManifest.create(tmp_path, _specs(3))
+        again = CampaignManifest.load(tmp_path)
+        assert again.digest == manifest.digest == specs_digest(_specs(3))
+        assert len(again.specs) == 3
+        assert all(s["schema"] == "repro.spec/1" for s in again.specs)
+
+    def test_digest_is_order_sensitive(self):
+        specs = _specs(3)
+        assert specs_digest(specs) != specs_digest(list(reversed(specs)))
+        assert specs_digest(specs) == specs_digest([RunSpec.from_any(s) for s in specs])
+
+    def test_raw_dict_entries_survive_verbatim(self, tmp_path):
+        manifest = CampaignManifest.create(tmp_path, [POISONED])
+        assert CampaignManifest.load(tmp_path).specs == [POISONED]
+        assert manifest.digest
+
+    def test_ledger_last_entry_wins_and_torn_line_is_skipped(self, tmp_path):
+        manifest = CampaignManifest.create(tmp_path, _specs(2))
+        manifest.record("key-a", "fail", "w1")
+        manifest.record("key-a", "ok", "w2")
+        manifest.record("key-b", "ok", "w1")
+        manifest.close()
+        with open(manifest.ledger_path, "a") as handle:
+            handle.write('{"key": "key-c", "sta')  # killed mid-append
+        assert manifest.completed() == {"key-a": "ok", "key-b": "ok"}
+
+    def test_status_summary(self, tmp_path):
+        manifest = CampaignManifest.create(tmp_path, _specs(3))
+        manifest.record("key-a", "ok")
+        manifest.record("key-b", "fail")
+        manifest.close()
+        status = manifest.status()
+        assert status["specs"] == 3
+        assert (status["ok"], status["failed"]) == (1, 1)
+
+    def test_load_missing_or_foreign_manifest_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="no campaign manifest"):
+            CampaignManifest.load(tmp_path / "nowhere")
+        (tmp_path / "campaign.json").write_text(json.dumps({"schema": "x/1"}))
+        with pytest.raises(ReproError, match="unsupported campaign schema"):
+            CampaignManifest.load(tmp_path)
+
+
+class TestCampaign:
+    def test_bit_identical_to_serial_run_batch(self):
+        specs = _specs(4)
+        campaign = _campaign(specs)
+        serial = run_batch(specs)
+        assert [r.to_dict() for r in campaign.outcomes] == [r.to_dict() for r in serial]
+        assert [r.counters for r in campaign.outcomes] == [r.counters for r in serial]
+        assert campaign.conservation.passed, campaign.conservation.violations
+        assert campaign.fabric["fabric.completed"] == 4
+        assert sum(campaign.worker_completions.values()) == 4
+
+    def test_poisoned_spec_is_isolated_in_its_slot(self):
+        specs = _payloads(2) + [dict(POISONED)] + _payloads(2)[1:]
+        campaign = _campaign(specs)
+        assert isinstance(campaign.outcomes[2], BatchFailure)
+        assert campaign.outcomes[2].error_type == "WorkloadError"
+        assert campaign.fabric["fabric.failed"] == 1
+        assert campaign.conservation.passed, campaign.conservation.violations
+
+    def test_malformed_entry_is_a_parse_failure(self):
+        campaign = _campaign([{"technique": "ooo"}] + _payloads(1))
+        assert isinstance(campaign.outcomes[0], BatchFailure)
+        assert campaign.fabric["fabric.parse_failures"] == 1
+        assert campaign.conservation.passed, campaign.conservation.violations
+
+    def test_duplicate_specs_simulate_once(self):
+        spec = _payloads(1)[0]
+        campaign = _campaign([spec, dict(spec), dict(spec)])
+        assert campaign.fabric["fabric.dedup.reused"] == 2
+        assert campaign.fabric["fabric.completed"] == 1
+        assert campaign.outcomes[0].to_dict() == campaign.outcomes[2].to_dict()
+        assert campaign.conservation.passed, campaign.conservation.violations
+
+    def test_worker_death_requeues_and_results_stay_identical(self):
+        specs = _specs(4)
+        campaign = _campaign(specs, chaos_workers=1, lease_timeout=5.0)
+        assert campaign.fabric["fabric.requeued"] >= 1
+        assert not campaign.failures
+        serial = run_batch(specs)
+        assert [r.to_dict() for r in campaign.outcomes] == [r.to_dict() for r in serial]
+        assert campaign.conservation.passed, campaign.conservation.violations
+
+    def test_retry_exhaustion_becomes_worker_death_failure(self):
+        coordinator = Coordinator(_specs(1), retries=0, lease_timeout=10.0).start()
+        try:
+            chaos = Worker(coordinator.address, self_destruct=1)
+            thread = threading.Thread(target=chaos.run, daemon=True)
+            thread.start()
+            outcomes = coordinator.wait(timeout=30.0)
+            thread.join(timeout=5.0)
+        finally:
+            coordinator.stop()
+        failure = outcomes[0]
+        assert isinstance(failure, BatchFailure)
+        assert failure.error_type == "WorkerDeath"
+        snapshot = coordinator.counters.snapshot()
+        assert snapshot["fabric.lost"] == 1
+        check = check_fabric_counters(snapshot, coordinator.worker_completions)
+        assert check.passed, check.violations
+
+    def test_hung_worker_lease_expires_and_spec_completes_elsewhere(self):
+        coordinator = Coordinator(_specs(2), lease_timeout=0.4, poll=0.05).start()
+        try:
+            hung = Worker(coordinator.address, hang_after=1, hang_seconds=20.0)
+            hung_thread = threading.Thread(target=hung.run, daemon=True)
+            hung_thread.start()
+            time.sleep(0.1)  # let it take (and sit on) the first lease
+            healthy = Worker(coordinator.address)
+            healthy_thread = threading.Thread(target=healthy.run, daemon=True)
+            healthy_thread.start()
+            outcomes = coordinator.wait(timeout=30.0)
+            healthy_thread.join(timeout=5.0)
+        finally:
+            coordinator.stop()
+        assert not [o for o in outcomes if isinstance(o, BatchFailure)]
+        snapshot = coordinator.counters.snapshot()
+        assert snapshot["fabric.requeued"] >= 1
+        check = check_fabric_counters(snapshot, coordinator.worker_completions)
+        assert check.passed, check.violations
+
+    def test_heartbeats_keep_a_slow_simulation_leased(self):
+        # ~0.6s of simulation against a 0.45s lease: only heartbeats
+        # (every ~0.15s) keep the lease alive to completion.
+        campaign = _campaign(
+            [RunSpec("camel", max_instructions=60_000)],
+            workers=1, lease_timeout=0.45,
+        )
+        assert not campaign.failures
+        assert campaign.fabric["fabric.heartbeats"] >= 1
+        assert campaign.fabric["fabric.requeued"] == 0
+
+    def test_resumed_campaign_re_simulates_nothing(self, tmp_path):
+        specs = _payloads(4)
+        cache = ResultCache(tmp_path / "cache")
+        first = _campaign(specs, cache=cache, manifest_dir=tmp_path / "camp")
+        assert first.fabric["fabric.completed"] == 4
+        reset_batch_counters()
+        resumed = _campaign(specs, cache=cache, manifest_dir=tmp_path / "camp")
+        assert resumed.fabric["fabric.resumed"] == 4
+        assert resumed.fabric["fabric.dispatched"] == 0
+        assert BATCH_COUNTERS.get("batch.sim.runs") == 0
+        assert resumed.conservation.passed, resumed.conservation.violations
+        assert [r.to_dict() for r in resumed.outcomes] == [
+            r.to_dict() for r in first.outcomes
+        ]
+
+    def test_shared_cache_without_ledger_counts_plain_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = _payloads(2)
+        run_batch(specs, cache=cache)
+        campaign = _campaign(specs, cache=cache)
+        assert campaign.fabric["fabric.cache.hits"] == 2
+        assert campaign.fabric["fabric.dispatched"] == 0
+        assert campaign.conservation.passed, campaign.conservation.violations
+
+    def test_cache_hits_are_ledgered_as_completions(self, tmp_path):
+        # A campaign resolved entirely from a warm cache must still write
+        # its completions to the manifest ledger: status reports them done
+        # and the next resume classifies them as resumed, not as hits.
+        cache = ResultCache(tmp_path / "cache")
+        specs = _payloads(3)
+        run_batch(specs, cache=cache)
+        first = _campaign(specs, cache=cache, manifest_dir=tmp_path / "camp")
+        assert first.fabric["fabric.cache.hits"] == 3
+        manifest = CampaignManifest.load(tmp_path / "camp")
+        assert manifest.status()["ok"] == 3
+        again = _campaign(specs, cache=cache, manifest_dir=tmp_path / "camp")
+        assert again.fabric["fabric.resumed"] == 3
+        assert again.fabric["fabric.cache.hits"] == 0
+        # Re-resuming does not grow the ledger with duplicate entries.
+        lines = (tmp_path / "camp" / "ledger.jsonl").read_text().splitlines()
+        assert len(lines) == 3
+
+    def test_manifest_digest_mismatch_refuses_to_resume(self, tmp_path):
+        _campaign(_payloads(2), manifest_dir=tmp_path)
+        with pytest.raises(ReproError, match="different .* list"):
+            _campaign(_payloads(3), manifest_dir=tmp_path)
+
+    def test_process_workers_round_trip(self, tmp_path):
+        campaign = _campaign(
+            _payloads(2), worker_mode="process", workers=2,
+            cache=ResultCache(tmp_path),
+        )
+        assert not campaign.failures
+        assert campaign.fabric["fabric.completed"] == 2
+        assert sum(campaign.worker_completions.values()) == 2
+        assert campaign.conservation.passed, campaign.conservation.violations
+        serial = run_batch(_payloads(2))
+        assert [r.to_dict() for r in campaign.outcomes] == [r.to_dict() for r in serial]
+
+
+class TestFabricConservationCheck:
+    BALANCED = {
+        "fabric.specs": 6, "fabric.unique": 5, "fabric.dedup.reused": 1,
+        "fabric.parse_failures": 1, "fabric.cache.hits": 1,
+        "fabric.dispatched": 4, "fabric.completed": 3, "fabric.failed": 0,
+        "fabric.lost": 0, "fabric.requeued": 1, "fabric.cancelled": 0,
+        "fabric.ignored.ok": 0, "fabric.ignored.fail": 0, "fabric.leased": 0,
+        "fabric.resumed": 0, "fabric.local": 0,
+    }
+
+    def test_balanced_books_pass(self):
+        check = check_fabric_counters(self.BALANCED, {"w1": 2, "w2": 1})
+        assert check.passed, check.violations
+
+    def test_worker_completion_mismatch_is_flagged(self):
+        check = check_fabric_counters(self.BALANCED, {"w1": 2, "w2": 2})
+        assert not check.passed
+        assert "workers report 4" in check.violations[0]
+
+    def test_leaked_lease_is_flagged(self):
+        books = dict(self.BALANCED, **{"fabric.requeued": 0})
+        check = check_fabric_counters(books, {"w1": 3})
+        assert any("lease endings" in v for v in check.violations)
+
+    def test_unresolved_spec_is_flagged(self):
+        books = dict(self.BALANCED, **{"fabric.cache.hits": 0})
+        check = check_fabric_counters(books, {"w1": 3})
+        assert any("specs in" in v for v in check.violations)
+
+
+class TestCampaignCLI:
+    def _write_specs(self, tmp_path, specs):
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps(specs))
+        return str(path)
+
+    def test_campaign_run_and_status(self, tmp_path, capsys):
+        spec_file = self._write_specs(tmp_path, _payloads(3))
+        code = main([
+            "campaign", "run", spec_file, "--workers", "2",
+            "--worker-mode", "thread",
+            "--manifest", str(tmp_path / "camp"), "--cache", str(tmp_path / "cache"),
+        ])
+        out = capsys.readouterr()
+        assert code == 0
+        assert "3/3 specs succeeded" in out.out
+        assert "fabric stats : " in out.err
+        assert "fabric.completed=3" in out.err
+
+        code = main(["campaign", "status", str(tmp_path / "camp")])
+        out = capsys.readouterr()
+        assert code == 0
+        assert "completed ok : 3" in out.out
+
+        code = main(["campaign", "status", str(tmp_path / "camp"), "--json"])
+        status = json.loads(capsys.readouterr().out)
+        assert status["ok"] == 3 and status["specs"] == 3
+
+    def test_campaign_resume_from_manifest_alone(self, tmp_path, capsys):
+        spec_file = self._write_specs(tmp_path, _payloads(2))
+        assert main([
+            "campaign", "run", spec_file, "--worker-mode", "thread",
+            "--manifest", str(tmp_path / "camp"), "--cache", str(tmp_path / "cache"),
+        ]) == 0
+        capsys.readouterr()
+        # No spec file this time: the manifest carries the spec list.
+        code = main([
+            "campaign", "run", "--worker-mode", "thread",
+            "--manifest", str(tmp_path / "camp"), "--cache", str(tmp_path / "cache"),
+        ])
+        out = capsys.readouterr()
+        assert code == 0
+        assert "fabric.resumed=2" in out.err
+        assert "fabric.dispatched=0" in out.err
+
+    def test_campaign_run_poisoned_spec_exits_one(self, tmp_path, capsys):
+        spec_file = self._write_specs(tmp_path, [dict(POISONED)] + _payloads(1))
+        code = main([
+            "campaign", "run", spec_file, "--worker-mode", "thread",
+        ])
+        out = capsys.readouterr()
+        assert code == 1
+        assert "FAIL no_such_workload" in out.out
+        assert "1/2 specs succeeded" in out.out
+
+    def test_campaign_run_without_specs_or_manifest_is_usage_error(self, capsys):
+        assert main(["campaign", "run", "--worker-mode", "thread"]) == 2
+        assert "spec file is required" in capsys.readouterr().err
+
+    def test_campaign_status_missing_manifest_is_an_error(self, tmp_path, capsys):
+        assert main(["campaign", "status", str(tmp_path / "nowhere")]) == 2
+        assert "no campaign manifest" in capsys.readouterr().err
