@@ -28,6 +28,7 @@ _MEASURED = (
     "cycle_loop",
     "cycle_event_loop",
     "hierarchy",
+    "demand_translated",
     "vector_engine",
     "vector_engine_reference",
     "batch_dispatch",
@@ -88,4 +89,14 @@ def test_bench_payload(benchmark):
     )
     assert vec_ratio >= 1.5, (
         f"slice vector engine only {vec_ratio:.2f}x its reference executor"
+    )
+    # Translation gate: the TLB funnels demand loads through the unfused
+    # access path, so it cannot match the fused tlb-off kernel — but it
+    # must stay the same order of magnitude (measured ~0.5x; floored
+    # with headroom so a quadratic walk bug trips the gate).
+    tlb_ratio = (
+        kernels["demand_translated"]["ips"] / kernels["hierarchy"]["ips"]
+    )
+    assert tlb_ratio >= 0.2, (
+        f"translated demand path only {tlb_ratio:.2f}x the tlb-off path"
     )

@@ -454,6 +454,75 @@ def check_vector_copy_conservation(ctx: AuditContext) -> List[str]:
     return violations
 
 
+# -- TLB laws ----------------------------------------------------------------
+
+
+@register_check("tlb.lookup-conservation")
+def check_tlb_lookup_conservation(ctx: AuditContext) -> List[str]:
+    """Every TLB lookup at each level is a hit or a miss, never both.
+
+    The L2 TLB is only consulted on an L1-TLB miss, so its lookup count
+    must equal the L1 miss count exactly. Vacuous when the run had no
+    TLB (``mem.tlb.*`` unpublished).
+    """
+    counters = ctx.result.counters
+    if counters.get("mem.tlb.l1.lookups") is None:
+        return []
+    get = counters.get
+    violations: List[str] = []
+    for level in ("l1", "l2"):
+        lookups = get(f"mem.tlb.{level}.lookups", 0)
+        hits = get(f"mem.tlb.{level}.hits", 0)
+        misses = get(f"mem.tlb.{level}.misses", 0)
+        if hits + misses != lookups:
+            violations.append(
+                f"{level.upper()}-TLB books unbalanced: hits {hits} + "
+                f"misses {misses} != lookups {lookups}"
+            )
+    l1_misses = get("mem.tlb.l1.misses", 0)
+    l2_lookups = get("mem.tlb.l2.lookups", 0)
+    if l2_lookups != l1_misses:
+        violations.append(
+            f"L2-TLB consulted {l2_lookups} times but the L1 TLB "
+            f"missed {l1_misses} times"
+        )
+    return violations
+
+
+@register_check("tlb.walk-conservation")
+def check_tlb_walk_conservation(ctx: AuditContext) -> List[str]:
+    """Every L2-TLB miss either launches a page-table walk or is dropped.
+
+    Demand misses always walk; speculative misses walk or are dropped
+    by ``runahead.tlb_policy``. Each walk costs at least one cycle per
+    page-table level. Vacuous when the run had no TLB.
+    """
+    counters = ctx.result.counters
+    walks = counters.get("mem.tlb.walks")
+    if walks is None:
+        return []
+    get = counters.get
+    l2_misses = get("mem.tlb.l2.misses", 0)
+    dropped = get("mem.tlb.dropped_prefetches", 0)
+    walk_cycles = get("mem.tlb.walk_cycles", 0)
+    violations: List[str] = []
+    if walks != l2_misses - dropped:
+        violations.append(
+            f"walk leak: walks {walks} != L2-TLB misses {l2_misses} - "
+            f"dropped speculative accesses {dropped}"
+        )
+    if walks > 0 and walk_cycles < walks:
+        violations.append(
+            f"{walks} walks cannot complete in {walk_cycles} walk cycles"
+        )
+    tlb = getattr(ctx.hierarchy, "tlb", None)
+    if tlb is not None and tlb.walks != walks:
+        violations.append(
+            f"published walks {walks} disagree with the live walker {tlb.walks}"
+        )
+    return violations
+
+
 # -- timing vs functional equivalence ---------------------------------------
 
 

@@ -33,6 +33,7 @@ from .experiments import (
     figure11,
     figure12,
     figure_lanes,
+    figure_tlb,
     run_batch,
     run_simulation,
     run_sweep,
@@ -51,6 +52,7 @@ _FIGURES = {
     "figure11": figure11,
     "figure12": figure12,
     "lanes": figure_lanes,
+    "tlb": figure_tlb,
 }
 _TABLES = {
     "table1": lambda **kw: table1_rows(),

@@ -12,7 +12,7 @@ Two canonical configurations are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, is_dataclass, replace
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 from typing import Dict, Mapping
 
 from .errors import ConfigError
@@ -42,6 +42,54 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class TLBConfig:
+    """Two-level TLB hierarchy plus a timed radix page-table walker.
+
+    Disabled by default: the untranslated hierarchy is bit-identical to
+    the pre-TLB model, so every existing golden stays valid. When
+    enabled, each hierarchy access first translates its address — an
+    L1-TLB hit is free (looked up in parallel with the L1-D), an L2-TLB
+    hit costs ``l2_latency``, and a full miss triggers a
+    ``walk_levels``-deep page-table walk whose per-level loads go
+    through the cache hierarchy like any other memory access (they hit,
+    miss, and occupy MSHRs). ``walk_latency`` is the walker's compute
+    cost per level on top of each level's memory access.
+    """
+
+    enable: bool = False
+    l1_entries: int = 64
+    l1_assoc: int = 4
+    l2_entries: int = 1024
+    l2_assoc: int = 8
+    l2_latency: int = 8
+    page_bytes: int = 4096
+    walk_levels: int = 4
+    walk_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ConfigError(
+                f"tlb.page_bytes must be a positive power of two, "
+                f"got {self.page_bytes}"
+            )
+        for label, entries, assoc in (
+            ("l1", self.l1_entries, self.l1_assoc),
+            ("l2", self.l2_entries, self.l2_assoc),
+        ):
+            if entries <= 0 or assoc <= 0 or entries % assoc != 0:
+                raise ConfigError(
+                    f"tlb {label} geometry invalid: {entries} entries do not "
+                    f"divide into {assoc}-way sets"
+                )
+        if self.walk_levels < 1:
+            raise ConfigError(
+                f"tlb.walk_levels must be >= 1, got {self.walk_levels}"
+            )
+        if self.walk_latency < 0 or self.l2_latency < 0:
+            raise ConfigError(f"tlb latencies must be >= 0: {self}")
+
+
+@dataclass(frozen=True)
 class MemoryConfig:
     """The full memory hierarchy: three cache levels plus DRAM.
 
@@ -57,6 +105,9 @@ class MemoryConfig:
     dram_latency: int = 200  # 50 ns at 4 GHz
     dram_bytes_per_cycle: float = 12.8
     line_bytes: int = 64
+    # Virtual-memory axis (PR 9): off by default, so the untranslated
+    # hierarchy stays bit-identical to the pre-TLB goldens.
+    tlb: TLBConfig = field(default_factory=TLBConfig)
 
     @staticmethod
     def paper() -> "MemoryConfig":
@@ -177,8 +228,19 @@ class RunaheadConfig:
     # Classic/precise runahead.
     runahead_flush_penalty: int = 15
     pre_min_interval: int = 8
+    # What a speculative (runahead / hardware-prefetcher) access does on
+    # a full TLB miss when translation is enabled: "walk" lets it
+    # trigger a page-table walk like a demand access; "drop" discards it
+    # at the L2-TLB miss, the way real hardware prefetchers behave.
+    # Demand accesses always walk. Irrelevant while memory.tlb is off.
+    tlb_policy: str = "walk"
 
     def __post_init__(self) -> None:
+        if self.tlb_policy not in ("walk", "drop"):
+            raise ConfigError(
+                f"runahead.tlb_policy must be 'walk' or 'drop', "
+                f"got {self.tlb_policy!r}"
+            )
         if self.vector_engine not in ("slice", "reference"):
             raise ConfigError(
                 f"runahead.vector_engine must be 'slice' or 'reference', "
@@ -193,6 +255,12 @@ class RunaheadConfig:
             raise ConfigError(
                 f"runahead.vector_width must be >= 1, got {self.vector_width}"
             )
+
+
+#: Wire-format defaults for the fields :meth:`SimConfig.to_dict` omits
+#: when unchanged (spec-key stability across the TLB axis's addition).
+_TLB_DEFAULT_DICT = asdict(TLBConfig())
+_TLB_POLICY_DEFAULT = RunaheadConfig.tlb_policy
 
 
 @dataclass(frozen=True)
@@ -231,10 +299,21 @@ class SimConfig:
         return replace(self, max_instructions=n)
 
     def to_dict(self) -> Dict:
-        """Nested plain-dict form (the ``repro.spec/1`` wire format)."""
-        import dataclasses
+        """Nested plain-dict form (the ``repro.spec/1`` wire format).
 
-        return dataclasses.asdict(self)
+        Fields added after ``repro.spec/1`` shipped (the TLB axis) are
+        omitted while at their defaults: every content address —
+        :meth:`RunSpec.key`, campaign digests — derives from this dict,
+        and a run that never mentions the TLB must keep the key it had
+        before the axis existed. :meth:`from_dict` restores the
+        defaults, so the round trip is exact either way.
+        """
+        data = asdict(self)
+        if data["memory"]["tlb"] == _TLB_DEFAULT_DICT:
+            del data["memory"]["tlb"]
+        if data["runahead"]["tlb_policy"] == _TLB_POLICY_DEFAULT:
+            del data["runahead"]["tlb_policy"]
+        return data
 
     @staticmethod
     def from_dict(data: Mapping) -> "SimConfig":

@@ -153,7 +153,9 @@ class CycleCore:
         self.program = program
         self.memory_image = memory_image
         self.workload_name = workload_name
-        self.hierarchy = MemoryHierarchy(self.config.memory)
+        self.hierarchy = MemoryHierarchy(
+            self.config.memory, tlb_policy=self.config.runahead.tlb_policy
+        )
         self.predictor = TageLitePredictor(self.config.branch)
         # ``functional_source`` lets a trace replayer stand in for live
         # functional execution (same .step() protocol; see repro.perf).

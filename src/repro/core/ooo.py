@@ -267,7 +267,9 @@ class OoOCore:
         self.technique = technique or NullTechnique()
         self.workload_name = workload_name
         self.hierarchy = MemoryHierarchy(
-            self.config.memory, ideal=self.technique.wants_ideal_memory
+            self.config.memory,
+            ideal=self.technique.wants_ideal_memory,
+            tlb_policy=self.config.runahead.tlb_policy,
         )
         self.predictor = TageLitePredictor(self.config.branch)
         #: The stream of architecturally executed instructions. By

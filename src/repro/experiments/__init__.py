@@ -35,6 +35,7 @@ from .figures import (
     figure11,
     figure12,
     figure_lanes,
+    figure_tlb,
     figure_specs,
 )
 from .report import ExperimentResult, format_table, harmonic_mean
@@ -82,6 +83,7 @@ __all__ = [
     "figure11",
     "figure12",
     "figure_lanes",
+    "figure_tlb",
     "figure_specs",
     "format_table",
     "harmonic_mean",

@@ -15,6 +15,7 @@ from ..config import MemoryConfig
 from .cache import Cache
 from .dram import Dram
 from .mshr import MSHRFile
+from .tlb import SOURCE_PTW, TLB
 
 # Sources, used for the Figure 10 accuracy/coverage split.
 SOURCE_MAIN = "main"
@@ -28,6 +29,12 @@ LEVEL_L3 = "L3"
 LEVEL_DRAM = "DRAM"
 LEVEL_OFFCHIP = "Off-chip"
 LEVEL_UNUSED = "Unused"  # prefetched, never demanded within the window
+LEVEL_TLB_DROP = "TLB-drop"  # speculative access dropped at the L2-TLB miss
+
+#: Service levels an access can resolve at, used to pre-build the
+#: per-source ``prefetch_outcomes`` key tables.
+_OUTCOME_LEVELS = (LEVEL_L1, LEVEL_MSHR, LEVEL_L2, LEVEL_L3, LEVEL_DRAM)
+_KNOWN_SOURCES = (SOURCE_MAIN, SOURCE_RUNAHEAD, SOURCE_PREFETCHER, SOURCE_PTW)
 
 
 class AccessResult:
@@ -81,7 +88,9 @@ class HierarchyStats:
 class MemoryHierarchy:
     """Three timed cache levels, an MSHR file, and a DRAM channel."""
 
-    def __init__(self, config: MemoryConfig, ideal: bool = False) -> None:
+    def __init__(
+        self, config: MemoryConfig, ideal: bool = False, tlb_policy: str = "walk"
+    ) -> None:
         self.config = config
         self.ideal = ideal
         self.l1 = Cache("L1D", config.l1d)
@@ -95,10 +104,25 @@ class MemoryHierarchy:
         )
         self.line_bytes = config.line_bytes
         self.stats = HierarchyStats()
+        # Address translation (PR 9). Ideal memory is an oracle that
+        # bypasses timing, so it gets no TLB either.
+        self.tlb: Optional[TLB] = (
+            TLB(config.tlb, self) if config.tlb.enable and not ideal else None
+        )
+        self._walk_speculative = tlb_policy == "walk"
         # line -> source for pending prefetched lines (Figure 11).
         self._prefetched_lines: Dict[int, str] = {}
-        # source -> (L1 key, MSHR key) for prefetch_outcomes.
-        self._prefetch_key_cache: Dict[str, tuple] = {}
+        # Per-source key tables, hoisted so the hot paths never build
+        # f-strings: source -> (L1 key, MSHR key) for prefetch_ready,
+        # and source -> {level: "source.level"} for the access() tail.
+        self._prefetch_key_cache: Dict[str, tuple] = {
+            source: (f"{source}.{LEVEL_L1}", f"{source}.{LEVEL_MSHR}")
+            for source in _KNOWN_SOURCES
+        }
+        self._outcome_keys: Dict[str, Dict[str, str]] = {
+            source: {level: f"{source}.{level}" for level in _OUTCOME_LEVELS}
+            for source in _KNOWN_SOURCES
+        }
 
     # -- helpers -------------------------------------------------------------
 
@@ -129,9 +153,11 @@ class MemoryHierarchy:
         timing cores' single hottest operation, so the L1-hit majority
         case is inlined down to one bucket lookup.
         """
-        if self.ideal:
-            # Oracle mode has its own demand semantics inside access();
-            # take the unfused sequence verbatim.
+        if self.ideal or self.tlb is not None:
+            # Oracle mode has its own demand semantics inside access(),
+            # and the translated path must funnel through access() so
+            # translation happens in exactly one place; both take the
+            # unfused sequence verbatim.
             mem_start = cycle
             if self.load_needs_mshr(addr, cycle) and not self.mshrs.available(cycle):
                 wait = self.mshrs.next_free(cycle)
@@ -178,6 +204,14 @@ class MemoryHierarchy:
             self._prefetch_key_cache[source] = keys
         return keys
 
+    def _outcome_key(self, source: str, level: str) -> str:
+        """Cached ``prefetch_outcomes`` key for one (source, level)."""
+        keys = self._outcome_keys.get(source)
+        if keys is None:
+            keys = {lvl: f"{source}.{lvl}" for lvl in _OUTCOME_LEVELS}
+            self._outcome_keys[source] = keys
+        return keys[level]
+
     def prefetch_ready(self, addr: int, cycle: int, source: str = SOURCE_RUNAHEAD) -> int:
         """Fused prefetch path: MSHR wait + timed access; returns ready.
 
@@ -188,7 +222,14 @@ class MemoryHierarchy:
         pins the equivalence) — the slice engine's hottest operation,
         so the L1-hit and MSHR-merge majority cases are inlined and
         only a fresh miss walks the full access path.
+
+        With a TLB the fused fast paths would have to translate before
+        probing, so the whole call funnels through access() instead —
+        the unfused sequence the vector engine's reference executor
+        performs, keeping fused==unfused equivalence trivially true.
         """
+        if self.tlb is not None:
+            return self._prefetch_ready_translated(addr, cycle, source)
         line = int(addr) // self.line_bytes
         l1 = self.l1
         bucket = l1._sets.get(line % l1.num_sets)
@@ -244,6 +285,20 @@ class MemoryHierarchy:
                 mem_start = wait
         return self.access(addr, mem_start, source=source, prefetch=True).ready
 
+    def _prefetch_ready_translated(self, addr: int, cycle: int, source: str) -> int:
+        """Translated prefetch path: the unfused MSHR-wait + access sequence.
+
+        The MSHR wait is computed before translation, mirroring the
+        issue-side gating the cores and vector engines perform on the
+        untranslated address; access() then translates exactly once.
+        """
+        mem_start = cycle
+        if self.load_needs_mshr(addr, cycle) and not self.mshrs.available(cycle):
+            wait = self.mshrs.next_free(cycle)
+            if wait > mem_start:
+                mem_start = wait
+        return self.access(addr, mem_start, source=source, prefetch=True).ready
+
     # -- fill paths ----------------------------------------------------------
 
     def _fill_l3(self, line: int, ready: int) -> None:
@@ -273,13 +328,34 @@ class MemoryHierarchy:
         prefetch: bool = False,
         write: bool = False,
         fill_to: str = "l1",
+        translated: bool = False,
     ) -> AccessResult:
         """Perform one timed access; returns readiness and service level.
 
         ``fill_to="l3"`` models prefetchers that live at the last-level
         cache (e.g. Continuous Runahead's LLC-controller core): their
         fetches land in the LLC only and do not consume L1 MSHRs.
+
+        When the TLB is enabled every access translates here — the one
+        funnel point — unless ``translated=True`` (page-table-walk loads
+        and callers that already translated). Speculative accesses
+        (prefetches from a non-main source) follow ``runahead.tlb_policy``:
+        under ``"drop"`` an L2-TLB miss discards the access with no cache
+        traffic and no prefetch bookkeeping, like a real prefetcher.
         """
+        tlb = self.tlb
+        if tlb is not None and not translated:
+            if prefetch and source != SOURCE_MAIN:
+                ready = tlb.translate_speculative(addr, cycle, self._walk_speculative)
+                if ready is None:
+                    return AccessResult(
+                        cycle + tlb.l2_latency,
+                        LEVEL_TLB_DROP,
+                        int(addr) // self.line_bytes,
+                    )
+                cycle = ready
+            else:
+                cycle = tlb.translate(addr, cycle)
         if fill_to == "l3":
             return self._access_llc_only(addr, cycle, source, prefetch)
         line = int(addr) // self.line_bytes
@@ -353,7 +429,7 @@ class MemoryHierarchy:
                     self.mshrs.allocate(line, cycle, ready)
 
         if prefetch:
-            key = f"{source}.{level}"
+            key = self._outcome_key(source, level)
             table = stats.prefetch_outcomes
             table[key] = table.get(key, 0) + 1
         if is_demand_load:
@@ -380,17 +456,22 @@ class MemoryHierarchy:
     ) -> AccessResult:
         """LLC-level prefetch path: fill the L3 (never L2/L1)."""
         line = self.line_of(addr)
+        stats = self.stats
         if prefetch:
-            self.stats.bump(self.stats.prefetches_by_source, source)
+            stats.bump(stats.prefetches_by_source, source)
         if self.l3.probe(line, cycle):
             if prefetch:
-                self.stats.bump(self.stats.prefetch_outcomes, f"{source}.{LEVEL_L3}")
+                stats.bump(
+                    stats.prefetch_outcomes, self._outcome_key(source, LEVEL_L3)
+                )
             return AccessResult(cycle + self.l3.latency, LEVEL_L3, line)
         ready = self.dram.access(cycle)
-        self.stats.bump(self.stats.dram_by_source, source)
+        stats.bump(stats.dram_by_source, source)
         self._fill_l3(line, ready)
         if prefetch:
-            self.stats.bump(self.stats.prefetch_outcomes, f"{source}.{LEVEL_DRAM}")
+            stats.bump(
+                stats.prefetch_outcomes, self._outcome_key(source, LEVEL_DRAM)
+            )
         if prefetch and source in (SOURCE_RUNAHEAD, SOURCE_PREFETCHER):
             self._track_prefetched(line, source)
         return AccessResult(ready, LEVEL_DRAM, line)
@@ -460,6 +541,11 @@ class MemoryHierarchy:
         registry.set("mem.mshr.rejections", self.mshrs.rejected_requests)
         registry.set("mem.mshr.file_merges", self.mshrs.merged_requests)
         registry.set("mem.mshr.peak_occupancy", self.mshrs.peak_occupancy)
+        if self.tlb is not None:
+            # Whole-run totals from the live TLB, like the MSHR-file
+            # counters: translation is a structural resource, not an
+            # ROI-windowed aggregate.
+            registry.set_many(self.tlb.counters())
         if cycles is not None:
             registry.set("mem.mshr.mean_occupancy", self.mean_mshr_occupancy(cycles))
 

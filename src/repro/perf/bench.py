@@ -42,6 +42,10 @@ Kernels:
     cycle core is where stall cycles actually get ticked.
 ``hierarchy``
     The timed memory hierarchy access path alone.
+``demand_translated``
+    The same sweep through the fused demand path with the TLB enabled:
+    L1-TLB hits, misses, and timed page-table walks in the mix — what
+    translation costs the simulator (not the simulated machine).
 ``vector_engine`` / ``vector_engine_reference``
     Vector Runahead's timed vector-chain executor (VIR/gather model)
     over a two-level stride-indirect chain: the slice-based chaining
@@ -216,6 +220,24 @@ def _hierarchy(n: int) -> Tuple[int, float]:
     return n, time.perf_counter() - t0
 
 
+def _demand_translated(n: int) -> Tuple[int, float]:
+    from dataclasses import replace
+
+    from ..config import TLBConfig
+
+    cfg = SimConfig().memory
+    hierarchy = MemoryHierarchy(replace(cfg, tlb=TLBConfig(enable=True)))
+    demand_load = hierarchy.demand_load
+    # Same 4 MiB stride-8 sweep as `hierarchy`, but through the fused
+    # demand path with translation on: mostly L1-TLB hits, with steady
+    # L1-TLB misses and page-table walks as the sweep crosses pages.
+    span = 1 << 22
+    t0 = time.perf_counter()
+    for i in range(n):
+        demand_load((i * 8) % span, i)
+    return n, time.perf_counter() - t0
+
+
 def _vector_engine_kernel(n: int, engine: str) -> Tuple[int, float]:
     from ..runahead.vector_engine import VectorChainRun
 
@@ -311,6 +333,7 @@ KERNELS: Dict[str, Tuple[Callable[[int], Tuple[int, float]], int, str]] = {
     "cycle_loop": (_cycle_loop, 8_000, "instr"),
     "cycle_event_loop": (_cycle_event_loop, 8_000, "instr"),
     "hierarchy": (_hierarchy, 40_000, "access"),
+    "demand_translated": (_demand_translated, 40_000, "access"),
     "vector_engine": (_vector_engine, 8_000, "prefetch"),
     "vector_engine_reference": (_vector_engine_reference, 8_000, "prefetch"),
     "batch_dispatch": (_batch_dispatch, 1_500, "spec"),

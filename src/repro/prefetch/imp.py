@@ -170,6 +170,8 @@ class IndirectMemoryPrefetcher(Technique):
                     continue
                 if not hierarchy.mshr_available(cycle):
                     return
+                # Speculative source: under a TLB, access() translates
+                # this (and may drop it per runahead.tlb_policy).
                 hierarchy.access(target, cycle, source="prefetcher", prefetch=True)
                 self.prefetches_issued += 1
 

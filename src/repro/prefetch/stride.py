@@ -85,5 +85,7 @@ class StridePrefetcher:
                 break
             if not hierarchy.mshr_available(cycle):
                 break
+            # Speculative source: under a TLB, access() translates this
+            # (and may drop it at an L2-TLB miss per runahead.tlb_policy).
             hierarchy.access(target, cycle, source="prefetcher", prefetch=True)
             self.issued += 1

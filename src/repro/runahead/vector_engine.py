@@ -504,6 +504,8 @@ class VectorChainRun:
         if not mapped:
             self._write_scalar(instr.rd, None, issue)
             return
+        # prefetch_ready translates under a TLB (speculative source:
+        # runahead.tlb_policy may drop the gather at an L2-TLB miss).
         ready = self.hierarchy.prefetch_ready(addr, issue, self.source)
         self.prefetches += 1
         self._write_scalar(instr.rd, value, ready)

@@ -47,6 +47,8 @@ EXPECTED_CHECKS = [
     "sched.skip-accounting",
     "vector.lane-conservation",
     "vector.copy-conservation",
+    "tlb.lookup-conservation",
+    "tlb.walk-conservation",
     "functional.equivalence",
 ]
 

@@ -178,6 +178,40 @@ class TestNormalization:
         assert a.key(FINGERPRINT) == b.key(FINGERPRINT)
         assert a.key(FINGERPRINT) != RunSpec("camel", trace=True).key(FINGERPRINT)
 
+    def test_tlb_defaults_fold_out_of_the_key(self):
+        # The TLB axis postdates repro.spec/1: a spec that spells out
+        # the default-off TLB must key identically to one that never
+        # mentions it, or every pre-TLB cache entry and golden key
+        # would be orphaned.
+        plain = RunSpec("camel", technique="dvr", max_instructions=800)
+        explicit = RunSpec(
+            "camel",
+            technique="dvr",
+            max_instructions=800,
+            overrides=(
+                ("memory.tlb.enable", "false"),
+                ("runahead.tlb_policy", "walk"),
+            ),
+        )
+        assert explicit.key(FINGERPRINT) == plain.key(FINGERPRINT)
+        assert "tlb" not in plain.resolved().config.to_dict()["memory"]
+        # Non-default values must key differently...
+        enabled = RunSpec(
+            "camel",
+            technique="dvr",
+            max_instructions=800,
+            overrides=(("memory.tlb.enable", "true"),),
+        )
+        assert enabled.key(FINGERPRINT) != plain.key(FINGERPRINT)
+        # ...including the speculative-walk policy knob.
+        drop = RunSpec(
+            "camel",
+            technique="dvr",
+            max_instructions=800,
+            overrides=(("runahead.tlb_policy", "drop"),),
+        )
+        assert drop.key(FINGERPRINT) != plain.key(FINGERPRINT)
+
     def test_arch_trace_key_is_technique_independent(self):
         base = arch_trace_key(RunSpec("camel", max_instructions=800).stream_projection())
         dvr = arch_trace_key(
