@@ -1,0 +1,50 @@
+"""Load benchmark for the ``repro serve`` front door.
+
+Measures the served-request throughput of one cold volley (N clients
+coalescing onto single-flight simulations) and one warm volley (pure
+cache hits), and attaches the serve counter book to ``extra_info`` so
+a regression in coalescing (e.g. misses > spec count) shows up in the
+benchmark record, not just in CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ResultCache,
+    RunSpec,
+    ServerThread,
+    reset_batch_counters,
+    run_load_test,
+)
+
+CLIENTS = 8
+SPECS = 3
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    reset_batch_counters()
+    yield
+    reset_batch_counters()
+
+
+def test_serve_load(benchmark, tmp_path):
+    specs = [RunSpec("camel", max_instructions=3000 + 100 * i) for i in range(SPECS)]
+    with ServerThread(cache=ResultCache(tmp_path), pool_size=2) as server:
+        report = benchmark.pedantic(
+            lambda: run_load_test(server.address, specs, clients=CLIENTS),
+            rounds=1,
+            iterations=1,
+        )
+        snapshot = server.serve_snapshot()
+    assert report.ok, report.violations
+    requests = 2 * CLIENTS * SPECS  # cold + warm volleys
+    benchmark.extra_info["requests"] = requests
+    benchmark.extra_info["counters"] = {k: int(v) for k, v in snapshot.items()}
+    print(
+        f"\n{requests} requests -> misses={report.cold['serve.misses']:g}"
+        f" coalesced={report.cold['serve.coalesced']:g}"
+        f" warm_hits={report.warm['serve.cache_hits']:g}"
+    )

@@ -23,6 +23,7 @@ from .checks import (
     AuditContext,
     check_batch_counters,
     check_fabric_counters,
+    check_serve_counters,
     register_check,
     run_checks,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "audit_timing_run",
     "check_batch_counters",
     "check_fabric_counters",
+    "check_serve_counters",
     "format_report",
     "register_check",
     "run_checks",

@@ -659,7 +659,10 @@ def check_fabric_counters(
        accepted (completed/failed), ignored-late, requeued, cancelled,
        retry-exhausted (``fabric.lost`` — the spec's final lease died
        with no retry budget left), or still outstanding at snapshot
-       time (``fabric.leased``).
+       time (``fabric.leased``). A late result (``fabric.late``) is an
+       *extra* arrival: its lease's ending was already counted when the
+       lease expired and was requeued, so late arrivals join
+       ``fabric.dispatched`` on the left-hand side.
     3. **Spec accounting** — every input spec resolves exactly once:
        simulated (completed/failed/lost), served from cache
        (cache hits / resumed), run coordinator-locally, deduplicated,
@@ -682,6 +685,7 @@ def check_fabric_counters(
             )
 
     dispatched = get("fabric.dispatched", 0)
+    late = get("fabric.late", 0)
     ended = (
         completed
         + failed
@@ -692,11 +696,11 @@ def check_fabric_counters(
         + get("fabric.lost", 0)
         + get("fabric.leased", 0)
     )
-    if dispatched != ended:
+    if dispatched + late != ended:
         violations.append(
-            f"fabric.dispatched={dispatched} leases but {ended} lease "
-            "endings (completed + failed + ignored + requeued + cancelled "
-            "+ lost + outstanding)"
+            f"fabric.dispatched={dispatched} leases + fabric.late={late} "
+            f"late arrivals but {ended} lease endings (completed + failed "
+            "+ ignored + requeued + cancelled + lost + outstanding)"
         )
 
     specs = get("fabric.specs", 0)
@@ -716,3 +720,40 @@ def check_fabric_counters(
             "lost + cache + resumed + local + dedup + parse failures)"
         )
     return CheckResult(name="fabric.conservation", violations=violations)
+
+
+# -- serve counter conservation -----------------------------------------------
+
+def check_serve_counters(snapshot: Dict[str, int]) -> CheckResult:
+    """Request conservation for the ``repro serve`` front door.
+
+    Every admitted request is classified exactly once — served from the
+    result cache (``serve.cache_hits``), coalesced onto an already
+    in-flight simulation (``serve.coalesced``), or a miss that starts a
+    new one (``serve.misses``) — so at every snapshot::
+
+        serve.requests == serve.cache_hits + serve.coalesced + serve.misses
+
+    The classification happens atomically with admission (no await
+    between the increments in the single-threaded event loop), so the
+    law holds at *any* instant, not just at quiescence. Failures are a
+    property of how a miss ended, not a fourth class, so
+    ``serve.failures`` never appears in the law.
+    """
+    get = snapshot.get
+    violations: List[str] = []
+    requests = get("serve.requests", 0)
+    classified = (
+        get("serve.cache_hits", 0)
+        + get("serve.coalesced", 0)
+        + get("serve.misses", 0)
+    )
+    if requests != classified:
+        violations.append(
+            f"serve.requests={requests} admitted but {classified} "
+            "classified (cache_hits + coalesced + misses)"
+        )
+    inflight = get("serve.inflight", 0)
+    if inflight < 0:
+        violations.append(f"serve.inflight={inflight} is negative")
+    return CheckResult(name="serve.request-conservation", violations=violations)

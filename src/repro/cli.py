@@ -342,6 +342,42 @@ def _build_parser() -> argparse.ArgumentParser:
     cgc_p.add_argument("--dry-run", action="store_true",
                        help="report what would be evicted without deleting")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="single-flight simulation-as-a-service HTTP front door",
+        description="Serve repro.spec/1 documents over HTTP (see"
+        " docs/serve.md). POST /run answers from the result cache when"
+        " it can, coalesces concurrent identical requests onto one"
+        " in-flight simulation, and runs novel specs in a bounded"
+        " process pool; GET /healthz and GET /progress/<key> report"
+        " the serve.* counter book.",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8787, metavar="N",
+                         help="listen port (0 picks an ephemeral port)")
+    serve_p.add_argument(
+        "--pool", type=int, default=2, metavar="N",
+        help="simulation process-pool size (bounds concurrent novel specs)",
+    )
+    serve_p.add_argument(
+        "--cache", nargs="?", const="", default=None, metavar="DIR",
+        help="result cache answering repeat requests without simulation;"
+        " DIR defaults to $REPRO_CACHE_DIR or ~/.cache/repro",
+    )
+    serve_p.add_argument(
+        "--load-test", metavar="CLIENTSxSPECS", default=None,
+        help="do not run a server for clients: start one in-process,"
+        " fire CLIENTS concurrent requests per each of SPECS distinct"
+        " specs (e.g. 8x3), verify single-flight coalescing, cache"
+        " warm-up, bit-identity, and the serve.request-conservation"
+        " law, then exit",
+    )
+    serve_p.add_argument(
+        "--max-instructions", type=int, default=3000, metavar="N",
+        help="simulated region size for the synthetic --load-test specs",
+    )
+    serve_p.set_defaults(resume=False)
+
     audit_p = sub.add_parser(
         "audit",
         help="run the invariant sanitizer over a spec matrix",
@@ -679,6 +715,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_campaign_command(args)
     if args.command == "cache":
         return _run_cache_command(args)
+    if args.command == "serve":
+        return _run_serve_command(args)
     if args.command == "audit":
         return _run_audit_command(args)
     if args.command == "pipeview":
@@ -900,6 +938,119 @@ def _run_campaign_command(args) -> int:
             print(f"CONSERVATION : {violation}", file=sys.stderr)
         return 1
     return 1 if failures else 0
+
+
+def _emit_serve_stats(snapshot) -> None:
+    """One stderr line with the full serve.* counter family."""
+    line = " ".join(f"{k}={v:g}" for k, v in sorted(snapshot.items()))
+    print(f"serve stats  : {line}", file=sys.stderr)
+
+
+def _run_serve_command(args) -> int:
+    """``repro serve``: the single-flight simulation HTTP front door."""
+    import asyncio
+
+    from .errors import ReproError
+    from .experiments import RunSpec
+    from .experiments.serve import ServerThread, SimulationServer, run_load_test
+
+    cache = _make_cache(args)
+
+    if args.load_test is not None:
+        clients, sep, spec_count = args.load_test.lower().partition("x")
+        if not sep or not clients.isdigit() or not spec_count.isdigit():
+            print(
+                "error: --load-test expects CLIENTSxSPECS (e.g. 8x3), got"
+                f" {args.load_test!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if cache is None:
+            # The warm volley proves cache hits, so the self-test always
+            # runs against a (private, throwaway) cache.
+            import tempfile
+
+            from .experiments import ResultCache
+
+            cache = ResultCache(tempfile.mkdtemp(prefix="repro-serve-"))
+        specs = [
+            RunSpec("camel", max_instructions=args.max_instructions + 100 * i)
+            for i in range(int(spec_count))
+        ]
+        try:
+            with ServerThread(
+                host=args.host, port=0, pool_size=args.pool, cache=cache
+            ) as server:
+                report = run_load_test(server.address, specs, clients=int(clients))
+                snapshot = server.serve_snapshot()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+        def volley(delta):
+            return " ".join(f"{k}={v:g}" for k, v in sorted(delta.items()))
+
+        print(f"load test    : {report.clients} clients x {report.spec_count} specs")
+        print(f"cold volley  : {volley(report.cold)}")
+        print(f"warm volley  : {volley(report.warm)}")
+        print(f"bit-identical: {'yes' if report.bit_identical else 'NO'}")
+        print(f"conservation : {'ok' if report.conservation_passed else 'BROKEN'}")
+        _emit_serve_stats(snapshot)
+        if report.violations:
+            for violation in report.violations:
+                print(f"VIOLATION    : {violation}", file=sys.stderr)
+            return 1
+        return 0
+
+    server = SimulationServer(
+        host=args.host, port=args.port, pool_size=args.pool, cache=cache
+    )
+
+    async def _serve() -> None:
+        import contextlib
+        import signal
+
+        # A daemon must die cleanly on SIGTERM (docker stop, systemd) and on
+        # SIGINT even when launched as a background job of a non-interactive
+        # shell, which starts children with SIGINT ignored — installing loop
+        # handlers covers both; platforms without add_signal_handler fall
+        # back to the KeyboardInterrupt path below.
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, OSError):
+                pass
+        await server.start()
+        host, port = server.address
+        print(
+            f"serving on http://{host}:{port} (POST /run, GET /healthz,"
+            " GET /progress/<key>; SIGINT/SIGTERM to stop)",
+            file=sys.stderr,
+        )
+        forever = asyncio.ensure_future(server.serve_forever())
+        stopped = asyncio.ensure_future(stop.wait())
+        await asyncio.wait({forever, stopped}, return_when=asyncio.FIRST_COMPLETED)
+        stopped.cancel()
+        forever.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await forever
+        await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        _emit_serve_stats(server.serve_snapshot())
+    return 0
 
 
 def _parse_bytes(text: str) -> int:

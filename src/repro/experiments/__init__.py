@@ -40,6 +40,13 @@ from .figures import (
 )
 from .report import ExperimentResult, format_table, harmonic_mean
 from .runner import run_simulation
+from .serve import (
+    SERVE_COUNTER_NAMES,
+    LoadTestReport,
+    ServerThread,
+    SimulationServer,
+    run_load_test,
+)
 from .spec import (
     RUNTIME_KEYS,
     SPEC_SCHEMA,
@@ -64,6 +71,10 @@ __all__ = [
     "Coordinator",
     "ExperimentResult",
     "FABRIC_COUNTER_NAMES",
+    "LoadTestReport",
+    "SERVE_COUNTER_NAMES",
+    "ServerThread",
+    "SimulationServer",
     "Worker",
     "RUNTIME_KEYS",
     "ResultCache",
@@ -90,6 +101,7 @@ __all__ = [
     "reset_batch_counters",
     "run_batch",
     "run_campaign",
+    "run_load_test",
     "run_simulation",
     "speedup_matrix",
     "successful",

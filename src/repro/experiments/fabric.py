@@ -99,7 +99,10 @@ FABRIC_COUNTER_NAMES = (
     "fabric.ignored.ok",
     "fabric.ignored.fail",
     "fabric.cancelled",
+    "fabric.late",
     "fabric.heartbeats",
+    "fabric.heartbeats.stale",
+    "fabric.protocol_errors",
     "fabric.workers",
 )
 
@@ -449,6 +452,11 @@ class Coordinator:
     def _serve_client(self, conn: socket.socket) -> None:
         worker_id = f"worker-{uuid.uuid4().hex[:8]}"
         held: set = set()
+        # Workers report a running completion total per *session*; a
+        # reconnect under the same --worker-id restarts that total, so
+        # the coordinator keeps a per-connection baseline and sums the
+        # deltas into worker_completions.
+        session = {"reported": 0}
         try:
             while True:
                 message = recv_message(conn)
@@ -471,14 +479,20 @@ class Coordinator:
                 elif kind == "heartbeat":
                     self._heartbeat(message.get("lease"))
                 elif kind == "result":
-                    self._record(message, worker_id, held)
+                    self._record(message, worker_id, held, session)
                     send_message(conn, {"type": "ok"})
                 elif kind == "goodbye":
                     break
                 else:
                     raise ProtocolError(f"unknown fabric message type {kind!r}")
-        except (ProtocolError, OSError, KeyError):
-            pass
+        except (ProtocolError, OSError) as exc:
+            # Wire trouble only: a half-closed socket or a client
+            # speaking garbage drops this connection and nothing else.
+            # Handler bugs propagate to threading.excepthook instead of
+            # being swallowed here.
+            if isinstance(exc, ProtocolError):
+                with self._lock:
+                    self.counters.inc("fabric.protocol_errors")
         finally:
             try:
                 conn.close()
@@ -524,21 +538,38 @@ class Coordinator:
 
     def _heartbeat(self, lease_id) -> None:
         with self._lock:
-            self.counters.inc("fabric.heartbeats")
             lease = self._leases.get(lease_id)
-            if lease is not None:
-                lease.deadline = time.monotonic() + self.lease_timeout
+            if lease is None:
+                # Unknown or already-expired lease: the beat extended
+                # nothing, so it must not count as a live heartbeat.
+                self.counters.inc("fabric.heartbeats.stale")
+                return
+            self.counters.inc("fabric.heartbeats")
+            lease.deadline = time.monotonic() + self.lease_timeout
 
-    def _record(self, message: Dict, worker_id: str, held: set) -> None:
+    def _record(
+        self, message: Dict, worker_id: str, held: set, session: Dict[str, int]
+    ) -> None:
         outcome = outcome_from_payload(message.get("outcome"))
         lease_id = message.get("lease")
         with self._lock:
             completions = message.get("sim_completions")
             if isinstance(completions, int):
-                previous = self.worker_completions.get(worker_id, 0)
-                self.worker_completions[worker_id] = max(previous, completions)
+                delta = completions - session["reported"]
+                if delta > 0:
+                    self.worker_completions[worker_id] = (
+                        self.worker_completions.get(worker_id, 0) + delta
+                    )
+                    session["reported"] = completions
             lease = self._leases.pop(lease_id, None)
             held.discard(lease_id)
+            late = lease is None
+            if late:
+                # The lease already expired (its ending was counted by
+                # _requeue), so this arrival is extra on top of
+                # fabric.dispatched and the conservation law must add it
+                # to the left-hand side.
+                self.counters.inc("fabric.late")
             key = lease.key if lease is not None else message.get("key")
             ok = isinstance(outcome, SimulationResult)
             if key not in self._positions or key in self._outcomes:
@@ -550,6 +581,21 @@ class Coordinator:
                 return
             self._outcomes[key] = outcome
             self.counters.inc("fabric.completed" if ok else "fabric.failed")
+            if late:
+                # A late result that still lands first resolves the
+                # spec, so any second lease for the same key is now
+                # redundant (cancel it; its own result will arrive late
+                # and be ignored) and any queued duplicate is dropped
+                # without further bookkeeping — its requeue was already
+                # counted.
+                for other_id, other in list(self._leases.items()):
+                    if other.key == key:
+                        del self._leases[other_id]
+                        self.counters.inc("fabric.cancelled")
+                if any(k == key for k, _item in self._queue):
+                    self._queue = deque(
+                        entry for entry in self._queue if entry[0] != key
+                    )
             self.counters.set("fabric.leased", len(self._leases))
             if ok and self.cache is not None:
                 self.cache.put(key, outcome)
@@ -734,11 +780,27 @@ class Worker:
 
 
 def parse_address(text: str) -> Tuple[str, int]:
-    """``HOST:PORT`` → address tuple (the CLI's --connect format)."""
+    """``HOST:PORT`` → address tuple (the CLI's --connect format).
+
+    Accepts bracketed IPv6 literals (``[::1]:9000``). Rejects ports
+    outside 1..65535 and unbracketed multi-colon hosts, which would
+    otherwise be silently mangled.
+    """
     host, sep, port = text.rpartition(":")
     if not sep or not host or not port.isdigit():
         raise ReproError(f"expected HOST:PORT, got {text!r}")
-    return host, int(port)
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ReproError(f"expected HOST:PORT, got {text!r}")
+    elif ":" in host:
+        raise ReproError(
+            f"ambiguous address {text!r}: write IPv6 hosts as [ADDR]:PORT"
+        )
+    number = int(port)
+    if not 0 < number < 65536:
+        raise ReproError(f"port out of range (1-65535) in {text!r}")
+    return host, number
 
 
 # -- whole campaigns ----------------------------------------------------------

@@ -406,10 +406,20 @@ class TestShardedCache:
 
     def test_gc_dry_run_deletes_nothing(self, tmp_path):
         cache = ResultCache(tmp_path)
-        run_batch([_spec()], cache=cache)
+        run_batch([_spec(), _spec(technique="dvr")], cache=cache)
+        paths = list(tmp_path.rglob("*.json"))
+        on_disk = sum(p.stat().st_size for p in paths)
         report = cache.gc(max_bytes=0, dry_run=True)
-        assert report["evicted"] == 1
-        assert len(list(tmp_path.rglob("*.json"))) == 1
+        # The report tallies exactly what a real gc WOULD evict...
+        assert report["evicted"] == 2
+        assert report["freed_bytes"] == on_disk
+        assert report["kept"] == 0
+        # ...while zero deletions actually happen: every entry is still
+        # on disk, still indexed, and still served as a hit.
+        assert sorted(tmp_path.rglob("*.json")) == sorted(paths)
+        assert BATCH_COUNTERS.get("batch.cache.evictions") == 0
+        for path in paths:
+            assert cache.get(path.stem) is not None
 
     def test_len_and_total_bytes_use_the_index(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -147,6 +147,21 @@ class TestProtocol:
             with pytest.raises(ReproError):
                 parse_address(bad)
 
+    def test_parse_address_rejects_out_of_range_ports(self):
+        for bad in ("host:0", "host:65536", "host:99999"):
+            with pytest.raises(ReproError, match="port out of range"):
+                parse_address(bad)
+        assert parse_address("host:65535") == ("host", 65535)
+        assert parse_address("host:1") == ("host", 1)
+
+    def test_parse_address_handles_ipv6_literals(self):
+        assert parse_address("[::1]:9000") == ("::1", 9000)
+        assert parse_address("[fe80::1]:8123") == ("fe80::1", 8123)
+        with pytest.raises(ReproError, match="bracket|ambiguous"):
+            parse_address("::1:9000")  # unbracketed would mangle the host
+        with pytest.raises(ReproError):
+            parse_address("[]:9000")
+
 
 class TestCampaignManifest:
     def test_create_load_roundtrip(self, tmp_path):
@@ -436,3 +451,210 @@ class TestCampaignCLI:
     def test_campaign_status_missing_manifest_is_an_error(self, tmp_path, capsys):
         assert main(["campaign", "status", str(tmp_path / "nowhere")]) == 2
         assert "no campaign manifest" in capsys.readouterr().err
+
+
+# -- surgical protocol scenarios ----------------------------------------------
+
+
+class _Client:
+    """Hand-rolled protocol client for precisely-ordered scenarios the
+    real Worker cannot produce (reconnects, late results, stale beats)."""
+
+    def __init__(self, address, worker="manual"):
+        self.sock = socket.create_connection(address, timeout=10)
+        send_message(self.sock, {"type": "hello", "worker": worker})
+        self.welcome = recv_message(self.sock)
+
+    def pull(self):
+        send_message(self.sock, {"type": "pull"})
+        return recv_message(self.sock)
+
+    def heartbeat(self, lease):
+        send_message(self.sock, {"type": "heartbeat", "lease": lease})
+
+    def result(self, lease, key, outcome, completions):
+        send_message(self.sock, {
+            "type": "result",
+            "lease": lease,
+            "key": key,
+            "outcome": outcome_to_payload(key, outcome),
+            "sim_completions": completions,
+        })
+        return recv_message(self.sock)
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _simulate_grant(grant):
+    return run_simulation(RunSpec.from_payload(grant["spec"]))
+
+
+def _wait_counter(coordinator, name, minimum, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if coordinator.counters.snapshot().get(name, 0) >= minimum:
+            return
+        time.sleep(0.02)
+    raise AssertionError(
+        f"{name} never reached {minimum}: {coordinator.fabric_snapshot()}"
+    )
+
+
+class TestReconnectBookkeeping:
+    def test_reconnect_under_fixed_worker_id_sums_sessions(self):
+        # Regression: max(previous, completions) collapsed two sessions'
+        # running totals (1 then 1,2 counted as 2 sims, not 3), breaking
+        # work conservation.
+        coordinator = Coordinator(_specs(3), lease_timeout=30.0).start()
+        try:
+            first = _Client(coordinator.address, worker="fixed")
+            grant = first.pull()
+            first.result(grant["lease"], grant["key"], _simulate_grant(grant), 1)
+            first.close()  # the worker process dies...
+
+            second = _Client(coordinator.address, worker="fixed")  # ...and is restarted
+            for completions in (1, 2):
+                grant = second.pull()
+                second.result(
+                    grant["lease"], grant["key"], _simulate_grant(grant), completions
+                )
+            assert second.pull() == {"type": "done"}
+            second.close()
+            outcomes = coordinator.wait(timeout=30.0)
+        finally:
+            coordinator.stop()
+        assert not [o for o in outcomes if isinstance(o, BatchFailure)]
+        assert coordinator.worker_completions["fixed"] == 3
+        check = check_fabric_counters(
+            coordinator.fabric_snapshot(), coordinator.worker_completions
+        )
+        assert check.passed, check.violations
+
+
+class TestHeartbeatCounters:
+    def test_live_and_stale_beats_are_split(self):
+        coordinator = Coordinator(_specs(1), lease_timeout=30.0).start()
+        try:
+            client = _Client(coordinator.address)
+            grant = client.pull()
+            client.heartbeat(grant["lease"])  # extends the live lease
+            client.heartbeat(424242)  # unknown lease: extends nothing
+            # Heartbeats are fire-and-forget; the result round-trip on
+            # the same connection orders them before the assertion.
+            client.result(grant["lease"], grant["key"], _simulate_grant(grant), 1)
+            client.close()
+            coordinator.wait(timeout=30.0)
+        finally:
+            coordinator.stop()
+        snapshot = coordinator.fabric_snapshot()
+        assert snapshot["fabric.heartbeats"] == 1
+        assert snapshot["fabric.heartbeats.stale"] == 1
+
+
+class TestServeClientErrorHandling:
+    def test_unknown_message_type_drops_connection_and_counts(self):
+        coordinator = Coordinator(_specs(1), lease_timeout=30.0).start()
+        try:
+            client = _Client(coordinator.address)
+            send_message(client.sock, {"type": "frobnicate"})
+            assert recv_message(client.sock) is None  # server hung up
+            client.close()
+            _wait_counter(coordinator, "fabric.protocol_errors", 1)
+            # The coordinator survived: a fresh client still gets work.
+            replacement = _Client(coordinator.address)
+            assert replacement.pull()["type"] == "spec"
+            replacement.close()
+        finally:
+            coordinator.stop()
+        assert coordinator.fabric_snapshot()["fabric.protocol_errors"] == 1
+
+    def test_handler_bug_propagates_to_thread_excepthook(self, monkeypatch):
+        hooked = []
+        monkeypatch.setattr(
+            threading, "excepthook", lambda args: hooked.append(args.exc_type)
+        )
+
+        def broken_grant(self, worker_id, held):
+            raise RuntimeError("handler bug")
+
+        monkeypatch.setattr(Coordinator, "_grant", broken_grant)
+        coordinator = Coordinator(_specs(1), lease_timeout=30.0).start()
+        try:
+            client = _Client(coordinator.address)
+            send_message(client.sock, {"type": "pull"})
+            assert recv_message(client.sock) is None  # thread died, conn closed
+            client.close()
+            deadline = time.monotonic() + 10.0
+            while not hooked and time.monotonic() < deadline:
+                time.sleep(0.02)
+        finally:
+            coordinator.stop()
+        assert RuntimeError in hooked  # NOT swallowed by the wire-error net
+        assert coordinator.fabric_snapshot()["fabric.protocol_errors"] == 0
+
+
+class TestLateResults:
+    def test_late_result_with_key_still_queued_resolves_the_spec(self):
+        coordinator = Coordinator(
+            _specs(1), lease_timeout=0.4, retries=2, poll=0.05
+        ).start()
+        try:
+            slow = _Client(coordinator.address, worker="slow")
+            grant = slow.pull()
+            outcome = _simulate_grant(grant)
+            _wait_counter(coordinator, "fabric.requeued", 1)  # lease expired
+            # The late result lands while the spec sits requeued: it is
+            # accepted once and the queued duplicate evaporates.
+            slow.result(grant["lease"], grant["key"], outcome, 1)
+            onlooker = _Client(coordinator.address, worker="onlooker")
+            assert onlooker.pull() == {"type": "done"}
+            onlooker.close()
+            outcomes = coordinator.wait(timeout=30.0)
+            slow.close()
+        finally:
+            coordinator.stop()
+        assert not [o for o in outcomes if isinstance(o, BatchFailure)]
+        snapshot = coordinator.fabric_snapshot()
+        assert snapshot["fabric.late"] == 1
+        assert snapshot["fabric.completed"] == 1
+        assert snapshot["fabric.requeued"] == 1
+        check = check_fabric_counters(snapshot, coordinator.worker_completions)
+        assert check.passed, check.violations
+
+    def test_late_result_with_second_live_lease_records_once(self):
+        coordinator = Coordinator(
+            _specs(1), lease_timeout=0.4, retries=2, poll=0.05
+        ).start()
+        try:
+            slow = _Client(coordinator.address, worker="slow")
+            grant = slow.pull()
+            outcome = _simulate_grant(grant)
+            _wait_counter(coordinator, "fabric.requeued", 1)
+            fast = _Client(coordinator.address, worker="fast")
+            regrant = fast.pull()  # second live lease on the same spec
+            assert regrant["key"] == grant["key"]
+            # Slow's result arrives first: recorded once, and the
+            # redundant second lease is cancelled on the spot.
+            slow.result(grant["lease"], grant["key"], outcome, 1)
+            # Fast finishes anyway: its result is acknowledged but
+            # ignored, never double-recorded.
+            fast.result(regrant["lease"], regrant["key"], outcome, 1)
+            outcomes = coordinator.wait(timeout=30.0)
+            slow.close()
+            fast.close()
+        finally:
+            coordinator.stop()
+        assert len([o for o in outcomes if not isinstance(o, BatchFailure)]) == 1
+        snapshot = coordinator.fabric_snapshot()
+        assert snapshot["fabric.dispatched"] == 2
+        assert snapshot["fabric.late"] == 2
+        assert snapshot["fabric.completed"] == 1
+        assert snapshot["fabric.cancelled"] == 1
+        assert snapshot["fabric.ignored.ok"] == 1
+        assert snapshot["fabric.leased"] == 0
+        check = check_fabric_counters(snapshot, coordinator.worker_completions)
+        assert check.passed, check.violations
